@@ -1,0 +1,101 @@
+// Command dlion-bench regenerates the paper's tables and figures on the
+// simulated micro-clouds and prints them as text, optionally writing a
+// combined report suitable for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dlion-bench                 # run every experiment with the fast profile
+//	dlion-bench -exp fig11      # run one experiment
+//	dlion-bench -profile std    # paper-style 3-run averaging, longer horizon
+//	dlion-bench -list           # list experiment ids
+//	dlion-bench -out report.md  # also write a markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dlion/internal/experiments"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "run a single experiment id (default: all)")
+		profile = flag.String("profile", "fast", "profile: fast or std")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		out     = flag.String("out", "", "also write a markdown report to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var p experiments.Profile
+	switch *profile {
+	case "fast":
+		p = experiments.Fast()
+	case "std", "standard":
+		p = experiments.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want fast or std)\n", *profile)
+		os.Exit(2)
+	}
+
+	var todo []experiments.Experiment
+	if *expID != "" {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	} else {
+		todo = experiments.All()
+	}
+
+	var md strings.Builder
+	md.WriteString("# DLion reproduction report\n\n")
+	fmt.Fprintf(&md, "Profile: %s, data scale %.3g, horizon %.0f virtual s, %d run(s) per point.\n\n",
+		*profile, p.DataScale, p.Horizon, p.Runs)
+
+	failed := 0
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		o, err := e.Run(p)
+		if err != nil {
+			failed++
+			fmt.Printf("ERROR: %v\n\n", err)
+			fmt.Fprintf(&md, "## %s — %s\n\nERROR: %v\n\n", e.ID, e.Title, err)
+			continue
+		}
+		fmt.Println(o.Text)
+		for _, note := range o.Notes {
+			fmt.Println("note:", note)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Fprintf(&md, "## %s — %s\n\n```\n%s```\n", e.ID, e.Title, o.Text)
+		for _, note := range o.Notes {
+			fmt.Fprintf(&md, "- %s\n", note)
+		}
+		md.WriteString("\n")
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("report written to", *out)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Command dlion-broker runs the standalone message broker (the Redis
+// substitute) that real-mode DLion workers connect to.
+//
+// Usage:
+//
+//	dlion-broker -addr 127.0.0.1:6399
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dlion/internal/queue"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6399", "listen address")
+	flag.Parse()
+
+	b := queue.NewBroker()
+	srv, err := queue.Serve(b, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlion-broker:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dlion-broker listening on", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+	b.Close()
+}

@@ -1,0 +1,103 @@
+// Command dlion-sim runs one (system, environment) combination on the
+// micro-cloud simulator and prints the accuracy timeline.
+//
+// Usage:
+//
+//	dlion-sim -system dlion -env "Hetero SYS A" -horizon 300
+//	dlion-sim -system baseline -env "Homo A" -scale 0.05 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlion/internal/cluster"
+	"dlion/internal/data"
+	"dlion/internal/env"
+	"dlion/internal/nn"
+	"dlion/internal/report"
+	"dlion/internal/systems"
+)
+
+func main() {
+	var (
+		sysName = flag.String("system", "dlion", "system: baseline, ako, gaia, hop, dlion, max10, dlion-no-wu, dlion-no-dbwu")
+		envName = flag.String("env", "Homo A", "Table 3 environment name (see -envs)")
+		horizon = flag.Float64("horizon", 300, "virtual seconds to simulate")
+		scale   = flag.Float64("scale", 0.05, "dataset scale (1.0 = the paper's full size)")
+		seed    = flag.Uint64("seed", 7, "experiment seed")
+		trace   = flag.Bool("trace", false, "print LBS/gradient-size traces")
+		amplify = flag.Float64("amplify", 5, "wire-size amplification (see DESIGN.md)")
+		dktp    = flag.Int64("dkt-period", 10, "DLion DKT period in iterations (scaled)")
+		envs    = flag.Bool("envs", false, "list environments and exit")
+	)
+	flag.Parse()
+
+	if *envs {
+		for _, n := range env.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	sys, err := systems.ByName(*sysName)
+	if err != nil {
+		fatal(err)
+	}
+	if sys.DKT.Enabled {
+		sys.DKT.Period = *dktp
+		sys.DKT.Lambda = 1.0
+	}
+	e, err := env.Get(*envName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	dc := data.CIFAR10Config(*scale, *seed+13)
+	model := nn.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, 0)
+	if e.GPU {
+		dc = data.ImageNet100Config(*scale/25, *seed+13)
+		model = nn.MobileNetLiteSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, 0)
+	}
+	model.WireBytes = int(float64(model.WireBytes) * *amplify)
+
+	cfg := cluster.Config{
+		System: sys, Model: model, Data: dc,
+		N: e.N, Computes: e.Computes, Network: e.Network,
+		Horizon: *horizon, Seed: *seed,
+	}
+	if *trace {
+		cfg.TracePeriod = *horizon / 30
+	}
+	fmt.Printf("running %s in %s for %.0f virtual seconds (%s, %d train samples)\n",
+		sys.Name, e.Name, *horizon, dc.Name, dc.Train)
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.NewTable("accuracy timeline", "t(s)", "mean acc", "stddev", "loss")
+	var ys []float64
+	for _, pt := range res.Timeline {
+		t.AddRow(fmt.Sprintf("%.0f", pt.T), pt.Mean, fmt.Sprintf("%.3f", pt.Std),
+			fmt.Sprintf("%.3f", pt.Loss))
+		ys = append(ys, pt.Mean)
+	}
+	fmt.Println(t)
+	fmt.Println("trend:", report.Sparkline(ys))
+	fmt.Printf("final accuracy %.3f | iterations per worker %v | %d MB sent\n",
+		res.Timeline.FinalMean(), res.Iters, res.TotalBytes>>20)
+	if *trace {
+		tt := report.NewTable("traces", "t(s)", "GBS", "LBS", "values w0->w1")
+		for _, tr := range res.Traces {
+			tt.AddRow(fmt.Sprintf("%.0f", tr.T), tr.GBS,
+				fmt.Sprint(tr.LBS), tr.SelCount[[2]int{0, 1}])
+		}
+		fmt.Println(tt)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlion-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command dlion-worker runs one real-mode DLion worker process, connecting
+// to a dlion-broker for message exchange. Start one broker and n workers
+// (each with a distinct -id) to form a training cluster; every worker must
+// use the same -workers, -seed and -system so replicas and shards agree.
+//
+// Example (three shells):
+//
+//	dlion-broker -addr 127.0.0.1:6399
+//	dlion-worker -id 0 -workers 2 -broker 127.0.0.1:6399 -duration 30s
+//	dlion-worker -id 1 -workers 2 -broker 127.0.0.1:6399 -duration 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dlion/internal/data"
+	"dlion/internal/nn"
+	"dlion/internal/realtime"
+	"dlion/internal/systems"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "worker id in [0, workers)")
+		n        = flag.Int("workers", 2, "cluster size")
+		broker   = flag.String("broker", "127.0.0.1:6399", "broker address")
+		sysName  = flag.String("system", "dlion", "system preset")
+		seed     = flag.Uint64("seed", 7, "shared cluster seed")
+		scale    = flag.Float64("scale", 0.02, "dataset scale")
+		duration = flag.Duration("duration", 30*time.Second, "training duration")
+	)
+	flag.Parse()
+
+	if *id < 0 || *id >= *n {
+		fatal(fmt.Errorf("id %d outside [0,%d)", *id, *n))
+	}
+	sys, err := systems.ByName(*sysName)
+	if err != nil {
+		fatal(err)
+	}
+	if sys.DKT.Enabled {
+		sys.DKT.Period = 20
+	}
+
+	dc := data.CIFAR10Config(*scale, *seed+13)
+	train, _, err := data.Generate(dc)
+	if err != nil {
+		fatal(err)
+	}
+	shards, err := data.Partition(train, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	spec := nn.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, *seed+1000)
+
+	tr, err := realtime.NewClientTransport(*broker, *id)
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+	node, err := realtime.NewNode(realtime.Config{
+		ID: *id, N: *n, System: sys, Spec: spec, Shard: shards[*id], Transport: tr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("worker %d/%d (%s) training for %v via %s\n", *id, *n, sys.Name, *duration, *broker)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	go func() {
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s := node.Worker().Stats()
+				fmt.Printf("  iter=%d loss=%.3f sent=%dKB\n",
+					s.Iters, node.Worker().AvgRecentLoss(), s.BytesSent>>10)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	if err := node.Run(ctx); err != nil {
+		fatal(err)
+	}
+	s := node.Worker().Stats()
+	fmt.Printf("done: %d iterations, %d samples, final loss %.3f\n",
+		s.Iters, s.SamplesProcessed, node.Worker().AvgRecentLoss())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlion-worker:", err)
+	os.Exit(1)
+}

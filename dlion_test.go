@@ -1,0 +1,116 @@
+package dlion_test
+
+import (
+	"testing"
+
+	"dlion"
+)
+
+func TestSystemsAndEnvironments(t *testing.T) {
+	if got := len(dlion.Systems()); got != 5 {
+		t.Fatalf("systems %d", got)
+	}
+	for _, name := range []string{"dlion", "baseline", "ako", "gaia", "hop"} {
+		if _, err := dlion.System(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := dlion.System("nope"); err == nil {
+		t.Fatal("unknown system must error")
+	}
+	for _, name := range dlion.EnvironmentNames() {
+		e, err := dlion.GetEnvironment(name, 1)
+		if err != nil || e.N != 6 {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestQuickEndToEnd(t *testing.T) {
+	res, err := dlion.Quick("dlion", "Hetero CPU A", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline.FinalMean() <= 0.12 {
+		t.Fatalf("Quick run did not learn: %.3f", res.Timeline.FinalMean())
+	}
+	if len(res.Iters) != 6 {
+		t.Fatalf("iters %v", res.Iters)
+	}
+}
+
+func TestCustomEnvironmentViaFacade(t *testing.T) {
+	caps := []dlion.Schedule{
+		dlion.ConstantSchedule(24), dlion.ConstantSchedule(6),
+	}
+	nw := dlion.UniformNetwork(2, dlion.ConstantSchedule(100), dlion.LANLatency)
+	e := dlion.CustomEnvironment("pair", caps, nw, 1)
+
+	sys, _ := dlion.System("dlion")
+	dc := dlion.CipherDataConfig(0.01, 3)
+	model := dlion.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, 0)
+	res, err := dlion.Run(dlion.ExperimentConfig{
+		System: sys, Model: model, Data: dc,
+		N: e.N, Computes: e.Computes, Network: e.Network,
+		Horizon: 60, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dynamic batching should give the 24-core worker the bigger share
+	if res.Stats[0].SamplesProcessed <= res.Stats[1].SamplesProcessed {
+		t.Fatalf("sample split wrong: %d vs %d",
+			res.Stats[0].SamplesProcessed, res.Stats[1].SamplesProcessed)
+	}
+}
+
+func TestAWSTable2Copies(t *testing.T) {
+	m, regions := dlion.AWSTable2()
+	if len(m) != 6 || len(regions) != 6 {
+		t.Fatal("table 2 shape")
+	}
+	m[0][1] = -1
+	m2, _ := dlion.AWSTable2()
+	if m2[0][1] == -1 {
+		t.Fatal("AWSTable2 must return a copy")
+	}
+}
+
+func TestStepScheduleFacade(t *testing.T) {
+	s := dlion.StepSchedule(0, 10, 100, 20)
+	if s.At(50) != 10 || s.At(150) != 20 {
+		t.Fatal("schedule values")
+	}
+}
+
+func TestStreamingDataFacade(t *testing.T) {
+	dc := dlion.CipherDataConfig(0.01, 3)
+	gen, train, test, err := dlion.NewDataGenerator(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() == 0 || test.Len() == 0 {
+		t.Fatal("empty initial sets")
+	}
+	shards, err := dlion.PartitionData(train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := shards[0].Len()
+	if err := dlion.GrowShards(train, gen.Next(90), shards); err != nil {
+		t.Fatal(err)
+	}
+	if shards[0].Len() != before+30 {
+		t.Fatalf("shard grew by %d, want 30", shards[0].Len()-before)
+	}
+}
+
+func TestCheckpointFacade(t *testing.T) {
+	spec := dlion.CipherSpec(1, 8, 8, 4, 3)
+	var m *dlion.Model = spec.Build()
+	ck := m.Checkpoint()
+	m2 := spec.Build()
+	if err := m2.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+}

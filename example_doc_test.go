@@ -1,0 +1,80 @@
+package dlion_test
+
+// Godoc examples for the public API. These have no "Output:" comments, so
+// `go test` compiles them (keeping the documentation honest) without
+// running multi-second simulations on every test invocation.
+
+import (
+	"fmt"
+	"log"
+
+	"dlion"
+)
+
+// ExampleQuick shows the one-liner entry point: a named system in a named
+// Table 3 environment.
+func ExampleQuick() {
+	res, err := dlion.Quick("dlion", "Hetero SYS A", 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final accuracy: %.3f\n", res.Timeline.FinalMean())
+}
+
+// ExampleRun shows a fully custom experiment: explicit system, model,
+// dataset, and cluster resources.
+func ExampleRun() {
+	sys, _ := dlion.System("dlion")
+	env, _ := dlion.GetEnvironment("Hetero SYS B", 7)
+	dc := dlion.CipherDataConfig(0.05, 11)
+	model := dlion.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, 0)
+
+	res, err := dlion.Run(dlion.ExperimentConfig{
+		System: sys, Model: model, Data: dc,
+		N: env.N, Computes: env.Computes, Network: env.Network,
+		Horizon: 600, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Timeline {
+		fmt.Printf("t=%.0f acc=%.3f\n", p.T, p.Mean)
+	}
+}
+
+// ExampleCustomEnvironment builds a bespoke micro-cloud: two fast workers
+// on a fat LAN, four slow ones behind a 20 Mbps WAN that degrades halfway
+// through training.
+func ExampleCustomEnvironment() {
+	caps := []dlion.Schedule{
+		dlion.ConstantSchedule(24), dlion.ConstantSchedule(24),
+		dlion.ConstantSchedule(6), dlion.ConstantSchedule(6),
+		dlion.ConstantSchedule(6), dlion.ConstantSchedule(6),
+	}
+	egress := make([]dlion.Schedule, 6)
+	for i := range egress {
+		if i < 2 {
+			egress[i] = dlion.ConstantSchedule(dlion.LANMbps)
+		} else {
+			egress[i] = dlion.StepSchedule(0, 20, 300, 10) // degrades at t=300
+		}
+	}
+	env := dlion.CustomEnvironment("bespoke",
+		caps, dlion.EgressNetwork(egress, dlion.WANLatency), 7)
+	fmt.Println(env.Name, env.N)
+}
+
+// ExampleModel_Checkpoint round-trips a model through its binary
+// checkpoint, the periodic start/resume workflow of the paper's §1.
+func ExampleModel_Checkpoint() {
+	spec := dlion.CipherSpec(1, 16, 16, 10, 42)
+	trained := spec.Build()
+	// ... train ...
+	blob := trained.Checkpoint()
+
+	resumed := spec.Build()
+	if err := resumed.Restore(blob); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %d bytes\n", len(blob))
+}

@@ -1,0 +1,108 @@
+// Real cluster: run three DLion workers as goroutines over the TCP message
+// broker (the Redis substitute) on wall-clock time — no simulator. This is
+// the deployment shape of the original prototype: one shared broker, one
+// worker per machine; here all three live in one process for a
+// self-contained demo, exchanging real encoded messages over loopback TCP.
+//
+//	go run ./examples/realcluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dlion"
+)
+
+func main() {
+	const (
+		n        = 3
+		duration = 8 * time.Second
+	)
+
+	// One broker serves the whole cluster, like the prototype's Redis.
+	broker := dlion.NewBroker()
+	defer broker.Close()
+	srv, err := dlion.ServeBroker(broker, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("broker listening on", srv.Addr())
+
+	// Shared dataset, partitioned into per-worker shards; every node builds
+	// the same model spec with the same seed so replicas start identical.
+	dc := dlion.CipherDataConfig(0.02, 11) // 1200 train samples
+	train, _, err := dlion.GenerateData(dc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards, err := dlion.PartitionData(train, n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := dlion.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, 99)
+
+	sys := dlion.DLion()
+	sys.DKT.Period = 20
+	sys.Batch.DynamicBatching = false // wall-clock profiling noise is high in-process
+
+	nodes := make([]*dlion.RealNode, n)
+	for i := 0; i < n; i++ {
+		transport, err := dlion.NewTCPTransport(srv.Addr(), i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer transport.Close()
+		nodes[i], err = dlion.NewRealNode(dlion.RealNodeConfig{
+			ID: i, N: n, System: sys, Spec: spec,
+			Shard: shards[i], Transport: transport,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(id int, nd *dlion.RealNode) {
+			defer wg.Done()
+			if err := nd.Run(ctx); err != nil {
+				log.Printf("worker %d: %v", id, err)
+			}
+		}(i, node)
+	}
+
+	// Progress while training runs.
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Print("progress:")
+			for i, nd := range nodes {
+				fmt.Printf("  w%d iter=%d loss=%.2f", i,
+					nd.Worker().Iter(), nd.Worker().AvgRecentLoss())
+			}
+			fmt.Println()
+		case <-done:
+			break loop
+		}
+	}
+
+	fmt.Println("\nfinal state after", duration, "of wall-clock training:")
+	for i, nd := range nodes {
+		s := nd.Worker().Stats()
+		fmt.Printf("  worker %d: %d iterations, %d samples, %d KB sent, loss %.3f\n",
+			i, s.Iters, s.SamplesProcessed, s.BytesSent>>10, nd.Worker().AvgRecentLoss())
+	}
+}

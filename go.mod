@@ -1,0 +1,3 @@
+module dlion
+
+go 1.22

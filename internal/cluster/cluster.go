@@ -1,0 +1,273 @@
+// Package cluster is the simulation driver: it assembles a micro-cloud (n
+// workers with compute capacity schedules, a network, a dataset, a model
+// spec, and a system configuration), runs it on the discrete-event engine,
+// and collects the evaluation timelines, traces, and counters the paper's
+// figures are built from.
+package cluster
+
+import (
+	"fmt"
+
+	"dlion/internal/core"
+	"dlion/internal/data"
+	"dlion/internal/metrics"
+	"dlion/internal/nn"
+	"dlion/internal/simclock"
+	"dlion/internal/simcompute"
+	"dlion/internal/simnet"
+	"dlion/internal/wire"
+)
+
+// Config describes one experiment run.
+type Config struct {
+	System core.Config
+	Model  nn.Spec
+	Data   data.Config
+
+	N        int
+	Computes []*simcompute.Compute // per-worker compute, len N
+	Network  *simnet.Network       // n-worker mesh
+
+	Horizon     float64 // virtual seconds to simulate
+	EvalPeriod  float64 // seconds between accuracy evaluations (default 50)
+	EvalSubset  int     // test samples used per evaluation (default 256)
+	EvalBatch   int     // forward batch for evaluation (default 64)
+	TracePeriod float64 // seconds between trace samples; 0 disables traces
+
+	Seed uint64
+}
+
+// Trace is one sample of internal controller state (Figures 6, 8, 19, 20).
+type Trace struct {
+	T        float64
+	GBS      int
+	LBS      []int          // per worker
+	SelCount map[[2]int]int // gradient values last sent on link [from,to]
+	Budget   map[[2]int]int // byte budget last used on link [from,to]
+}
+
+// Result aggregates everything a run produced.
+type Result struct {
+	System   string
+	Timeline metrics.Timeline
+	Stats    []core.Stats
+	Iters    []int64
+	Traces   []Trace
+
+	// TotalBytes is the sum of bytes all workers sent (network-model
+	// scaled), for communication-volume comparisons.
+	TotalBytes int64
+
+	// Models exposes the final model replicas (inspection and tests).
+	Models []*nn.Model
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("cluster: need >= 2 workers, got %d", c.N)
+	case len(c.Computes) != c.N:
+		return fmt.Errorf("cluster: %d computes for %d workers", len(c.Computes), c.N)
+	case c.Network == nil || c.Network.Size() != c.N:
+		return fmt.Errorf("cluster: network size mismatch")
+	case c.Horizon <= 0:
+		return fmt.Errorf("cluster: horizon %v", c.Horizon)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.EvalPeriod == 0 {
+		c.EvalPeriod = 50
+	}
+	if c.EvalSubset == 0 {
+		c.EvalSubset = 256
+	}
+	if c.EvalBatch == 0 {
+		c.EvalBatch = 64
+	}
+	return c
+}
+
+// simEnv implements core.Env over the simulation substrates.
+type simEnv struct {
+	eng       *simclock.Engine
+	net       *simnet.Network
+	computes  []*simcompute.Compute
+	workers   []*core.Worker
+	wireScale float64
+	egress    []float64 // per worker: time its NIC is busy until
+	sentBytes int64
+}
+
+func (e *simEnv) SendScale() float64           { return e.wireScale }
+func (e *simEnv) Now() float64                 { return e.eng.Now() }
+func (e *simEnv) After(d float64, fn func())   { e.eng.After(d, fn) }
+func (e *simEnv) NumWorkers() int              { return len(e.computes) }
+func (e *simEnv) IterSeconds(w, b int) float64 { return e.computes[w].IterTime(b, e.eng.Now()) }
+
+func (e *simEnv) ProfileCompute(w int, batches []int) (x, y []float64) {
+	return e.computes[w].Profile(batches, e.eng.Now())
+}
+
+func (e *simEnv) Bandwidth(from, to int) float64 {
+	bw, err := e.net.BandwidthAt(from, to, e.eng.Now())
+	if err != nil {
+		return 0
+	}
+	return bw
+}
+
+// Send models a store-and-forward transfer: data-plane messages (gradients
+// and weights) are scaled to the paper's model wire size, serialized on the
+// sender's egress link (shared across its peers, which is what makes
+// all-to-all full-gradient exchange expensive), and delivered after
+// serialization plus half the RTT.
+func (e *simEnv) Send(from, to int, m *wire.Message) {
+	bytes := float64(m.WireBytes())
+	if m.Type == wire.TypeGradient || m.Type == wire.TypeWeights {
+		bytes *= e.wireScale
+	}
+	e.sentBytes += int64(bytes)
+	now := e.eng.Now()
+	start := now
+	if e.egress[from] > start {
+		start = e.egress[from]
+	}
+	bw, err := e.net.BandwidthAt(from, to, start)
+	if err != nil {
+		return // unconnected: drop, like a partitioned link
+	}
+	if bw <= 0 {
+		bw = 0.01
+	}
+	ser := bytes * 8 / (bw * 1e6)
+	e.egress[from] = start + ser
+	rtt := 0.0
+	if l, err := e.net.Link(from, to); err == nil {
+		rtt = l.RTT
+	}
+	arrival := start + ser + rtt/2
+	e.eng.At(arrival, func() { e.workers[to].HandleMessage(m) })
+}
+
+// Run executes one experiment and returns its results.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	train, test, err := data.Generate(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	shards, err := data.Partition(train, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	evalSet := test.Head(cfg.EvalSubset)
+
+	env := &simEnv{
+		eng:      simclock.New(),
+		net:      cfg.Network,
+		computes: cfg.Computes,
+		egress:   make([]float64, cfg.N),
+	}
+	models := make([]*nn.Model, cfg.N)
+	spec := cfg.Model
+	spec.Seed = cfg.Seed + 1000 // all replicas share this seed: identical init
+	for i := range models {
+		models[i] = spec.Build()
+	}
+	env.wireScale = float64(spec.ExchangeBytes()) / float64(models[0].SizeBytes())
+	if env.wireScale < 1 {
+		env.wireScale = 1
+	}
+
+	env.workers = make([]*core.Worker, cfg.N)
+	for i := range env.workers {
+		w, err := core.New(i, cfg.System, models[i], shards[i], env)
+		if err != nil {
+			return nil, err
+		}
+		env.workers[i] = w
+	}
+
+	res := &Result{System: cfg.System.Name}
+	evaluate := func() {
+		accs := make([]float64, cfg.N)
+		var lossSum float64
+		for i, m := range models {
+			a, l := m.Evaluate(evalSet, cfg.EvalBatch)
+			accs[i] = a
+			lossSum += l
+		}
+		res.Timeline = append(res.Timeline,
+			metrics.NewPoint(env.eng.Now(), accs, lossSum/float64(cfg.N)))
+	}
+	trace := func() {
+		tr := Trace{T: env.eng.Now(), GBS: env.workers[0].GBS(),
+			LBS: make([]int, cfg.N), SelCount: map[[2]int]int{}, Budget: map[[2]int]int{}}
+		for i, w := range env.workers {
+			tr.LBS[i] = w.LBS()
+			for j := 0; j < cfg.N; j++ {
+				if j == i {
+					continue
+				}
+				tr.SelCount[[2]int{i, j}] = w.LastSelectedCount(j)
+				tr.Budget[[2]int{i, j}] = w.LastBudget(j)
+			}
+		}
+		res.Traces = append(res.Traces, tr)
+	}
+
+	evaluate() // t = 0 baseline point
+	env.eng.Every(cfg.EvalPeriod, evaluate, nil)
+	if cfg.TracePeriod > 0 {
+		env.eng.Every(cfg.TracePeriod, trace, nil)
+	}
+	for _, w := range env.workers {
+		w.Start()
+	}
+	env.eng.Run(cfg.Horizon)
+
+	// Final state at the horizon.
+	if len(res.Timeline) == 0 || res.Timeline[len(res.Timeline)-1].T < cfg.Horizon {
+		evaluate()
+		res.Timeline[len(res.Timeline)-1].T = cfg.Horizon
+	}
+	for _, w := range env.workers {
+		res.Stats = append(res.Stats, w.Stats())
+		res.Iters = append(res.Iters, w.Iter())
+	}
+	res.TotalBytes = env.sentBytes
+	res.Models = models
+	return res, nil
+}
+
+// RunUntilConverged repeatedly extends the horizon until the accuracy
+// timeline plateaus (Figure 21's "train until fully converged") or maxTime
+// is hit, returning the result of the final run plus the convergence time.
+func RunUntilConverged(cfg Config, window int, eps, maxTime float64) (*Result, float64, error) {
+	cfg = cfg.withDefaults()
+	horizon := cfg.Horizon
+	for {
+		c := cfg
+		c.Horizon = horizon
+		res, err := Run(c)
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.Timeline.Converged(window, eps) || horizon >= maxTime {
+			// convergence time: first point within eps of the final accuracy
+			final := res.Timeline.FinalMean()
+			for _, p := range res.Timeline {
+				if p.Mean >= final-eps {
+					return res, p.T, nil
+				}
+			}
+			return res, horizon, nil
+		}
+		horizon *= 2
+	}
+}

@@ -1,0 +1,177 @@
+// Package core implements the DLion worker (Figure 10 of the paper): the
+// training workflow, the weighted dynamic batching technique (GBS and LBS
+// controllers + weighted model update, §3.2), per-link prioritized gradient
+// exchange (§3.3), direct knowledge transfer (§3.4), and the configurable
+// synchronization strategies of §4.2. The four comparison systems are
+// expressed as configurations of the same worker (see internal/systems),
+// mirroring how the prototype emulated them with ≤23 changed lines.
+package core
+
+import (
+	"fmt"
+
+	"dlion/internal/grad"
+)
+
+// SyncMode selects the synchronization strategy of the synch_training API.
+type SyncMode int
+
+// Synchronization strategies.
+const (
+	// SyncAsync proceeds to the next iteration immediately (Ako).
+	SyncAsync SyncMode = iota
+	// SyncFull blocks until gradients for the current iteration arrived
+	// from every peer (Baseline, Gaia, DLion).
+	SyncFull
+	// SyncBounded proceeds once gradients arrived from all but
+	// BackupWorkers peers, while never running more than Staleness
+	// iterations ahead of the slowest peer (Hop).
+	SyncBounded
+)
+
+// String returns the mode's name.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAsync:
+		return "async"
+	case SyncFull:
+		return "sync"
+	case SyncBounded:
+		return "bounded"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// SyncConfig parameterizes the synchronization strategy.
+type SyncConfig struct {
+	Mode          SyncMode
+	BackupWorkers int // SyncBounded: peers that may be skipped (Hop uses 1)
+	Staleness     int // SyncBounded: max iteration lead over slowest peer (Hop uses 5)
+}
+
+// DKTConfig parameterizes direct knowledge transfer (§3.4).
+type DKTConfig struct {
+	Enabled    bool
+	Period     int64   // iterations between loss sharing rounds (paper: 100)
+	Lambda     float64 // merge ratio (paper: 0.75)
+	LossWindow int     // l, the number of recent losses averaged (default 5)
+	// Best2Worst restricts transfer to the single worst worker instead of
+	// all workers (the DKT_Best2worst variant of Figure 9b).
+	Best2Worst bool
+}
+
+// BatchConfig parameterizes weighted dynamic batching (§3.2).
+type BatchConfig struct {
+	InitialLBS int // starting local batch size (paper: 32)
+
+	// DynamicBatching enables the GBS and LBS controllers. When false the
+	// global batch is fixed at n·InitialLBS split evenly.
+	DynamicBatching bool
+	// WeightedUpdate enables the db_j^k confidence coefficients of Eq. 7.
+	WeightedUpdate bool
+
+	GBS GBSConfig
+
+	// ProfilePeriod is how often (virtual seconds) the LBS controller
+	// re-profiles compute capacity and broadcasts RCP (default 60).
+	ProfilePeriod float64
+	// MinLBS floors each worker's share (default 1).
+	MinLBS int
+	// DBClampMax bounds the dynamic batching weight db_j^k = LBS_j/LBS_k to
+	// [1/DBClampMax, DBClampMax] for numerical stability with extreme
+	// heterogeneity (default 8; see DESIGN.md decision 4).
+	DBClampMax float64
+}
+
+// GBSConfig parameterizes the GBS controller.
+type GBSConfig struct {
+	// Mode "auto" runs the warm-up/speed-up controller; "fixed" keeps the
+	// initial GBS; "schedule" doubles GBS once DoubleAtEpoch is reached
+	// (the Figure 5 exploration).
+	Mode string
+
+	WarmupAdd      int     // C_warmup: arithmetic increment (default = initial GBS)
+	SpeedupFactor  float64 // C_speedup: geometric factor (default 2)
+	WarmupCapFrac  float64 // stop warm-up when GBS > frac·|train| (paper: 0.01)
+	SpeedupCapFrac float64 // stop speed-up when GBS > frac·|train| (paper: 0.10)
+	AdjustPeriod   float64 // virtual seconds between adjustments (default 120)
+	WarmupDuration float64 // seconds before switching from warm-up to speed-up (default 600)
+	DoubleAtEpoch  float64 // schedule mode: epoch at which GBS doubles
+	TrainSetSize   int     // |train|, filled in by the cluster driver
+}
+
+// Config assembles a complete system variant.
+type Config struct {
+	Name         string
+	LearningRate float64
+
+	// NewSelector builds the per-worker gradient selector (selectors are
+	// stateful, so each worker needs its own instance).
+	NewSelector func() grad.Selector
+
+	// LinkBudget enables the transmission speed assurance module: the
+	// per-link byte budget BW_net_j/Iter_com_i is passed to the selector.
+	LinkBudget bool
+
+	Batch BatchConfig
+	Sync  SyncConfig
+	DKT   DKTConfig
+
+	// EvalSubset caps how many test samples periodic accuracy evaluation
+	// uses (0 = all). Purely a harness knob.
+	EvalSubset int
+}
+
+// Validate checks the configuration for programming errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.NewSelector == nil:
+		return fmt.Errorf("core: %s: NewSelector is nil", c.Name)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("core: %s: learning rate %v", c.Name, c.LearningRate)
+	case c.Batch.InitialLBS < 1:
+		return fmt.Errorf("core: %s: initial LBS %d", c.Name, c.Batch.InitialLBS)
+	case c.DKT.Enabled && (c.DKT.Lambda < 0 || c.DKT.Lambda > 1):
+		return fmt.Errorf("core: %s: DKT lambda %v", c.Name, c.DKT.Lambda)
+	case c.DKT.Enabled && c.DKT.Period < 1:
+		return fmt.Errorf("core: %s: DKT period %d", c.Name, c.DKT.Period)
+	case c.Sync.Mode == SyncBounded && c.Sync.Staleness < 1:
+		return fmt.Errorf("core: %s: staleness %d", c.Name, c.Sync.Staleness)
+	}
+	return nil
+}
+
+// withDefaults fills zero values with the defaults documented above.
+func (c Config) withDefaults() Config {
+	if c.Batch.GBS.Mode == "" {
+		c.Batch.GBS.Mode = "fixed"
+	}
+	if c.Batch.GBS.SpeedupFactor == 0 {
+		c.Batch.GBS.SpeedupFactor = 2
+	}
+	if c.Batch.GBS.WarmupCapFrac == 0 {
+		c.Batch.GBS.WarmupCapFrac = 0.01
+	}
+	if c.Batch.GBS.SpeedupCapFrac == 0 {
+		c.Batch.GBS.SpeedupCapFrac = 0.10
+	}
+	if c.Batch.GBS.AdjustPeriod == 0 {
+		c.Batch.GBS.AdjustPeriod = 120
+	}
+	if c.Batch.GBS.WarmupDuration == 0 {
+		c.Batch.GBS.WarmupDuration = 600
+	}
+	if c.Batch.ProfilePeriod == 0 {
+		c.Batch.ProfilePeriod = 60
+	}
+	if c.Batch.MinLBS == 0 {
+		c.Batch.MinLBS = 1
+	}
+	if c.Batch.DBClampMax == 0 {
+		c.Batch.DBClampMax = 8
+	}
+	if c.DKT.LossWindow == 0 {
+		c.DKT.LossWindow = 5
+	}
+	return c
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"dlion/internal/grad"
+	"dlion/internal/wire"
+)
+
+// exchangeGradients runs the partial gradients generation module of Figure
+// 10: for each peer it asks the network resource monitor for the link's
+// available bandwidth, derives the per-link byte budget of the transmission
+// speed assurance module (§3.3), runs the configured selector, and sends
+// the result. The budget is
+//
+//	maxBytes = BW_net_j / Iter_com_i = BW_bytes_per_sec · iterSeconds_i
+//
+// i.e. the bytes the link can absorb during one of this worker's
+// iterations, exactly the paper's formula with Iter_com_i = 1/iterSeconds.
+func (w *Worker) exchangeGradients() {
+	params := w.model.Params()
+	peers := w.peers()
+	for _, p := range peers {
+		budget := 0
+		if w.cfg.LinkBudget {
+			// The worker transmits to all n-1 peers concurrently over a
+			// shared egress, so each link's effective share of
+			// BW_net_j/Iter_com_i is divided by the fan-out; the payload
+			// budget additionally shrinks by the wire inflation factor.
+			bwBytes := w.env.Bandwidth(w.ID, p) * 1e6 / 8
+			budget = int(bwBytes * w.iterSec / (float64(len(peers)) * w.env.SendScale()))
+			if budget < 64 {
+				budget = 64
+			}
+		}
+		sels := w.selector.Select(p, params, budget)
+		w.lastBudget[p] = budget
+		w.lastSelCount[p] = grad.TotalCount(sels)
+		w.stats.GradValuesSent += int64(grad.TotalCount(sels))
+		if len(sels) == 0 {
+			// Nothing significant to send (e.g. Gaia below threshold). The
+			// peer's sync bookkeeping still needs the iteration signal.
+			w.send(&wire.Message{Type: wire.TypeGradient, From: int32(w.ID),
+				To: int32(p), Iter: w.iter, LBS: int32(w.lbs)})
+			continue
+		}
+		w.send(&wire.Message{Type: wire.TypeGradient, From: int32(w.ID),
+			To: int32(p), Iter: w.iter, LBS: int32(w.lbs), Selections: sels})
+	}
+}
+
+// applyRemoteGradient is the model update module: apply a peer's partial
+// gradients to the local model with the dynamic batching weight
+// db_j^k = LBS_j / LBS_k of Eq. 7 (clamped for stability; see DESIGN.md).
+func (w *Worker) applyRemoteGradient(m *wire.Message) {
+	if len(m.Selections) == 0 {
+		return
+	}
+	db := 1.0
+	if w.cfg.Batch.WeightedUpdate && m.LBS > 0 && w.lbs > 0 {
+		db = float64(m.LBS) / float64(w.lbs)
+		if maxDB := w.cfg.Batch.DBClampMax; maxDB > 1 {
+			if db > maxDB {
+				db = maxDB
+			}
+			if db < 1/maxDB {
+				db = 1 / maxDB
+			}
+		}
+	}
+	scale := float32(-w.cfg.LearningRate * db / float64(w.env.NumWorkers()))
+	for _, sel := range m.Selections {
+		p := w.model.Param(sel.Var)
+		if p == nil {
+			continue // unknown variable: ignore, consistent with a generic queue
+		}
+		if err := sel.AddTo(p.W.Data, scale); err != nil {
+			continue
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"dlion/internal/data"
+	"dlion/internal/grad"
+	"dlion/internal/nn"
+	"dlion/internal/wire"
+)
+
+// Env abstracts everything outside a worker: the clock, the other workers,
+// the network monitor, and the compute cost model. The simulation driver
+// (internal/cluster) implements it over the discrete-event engine; a
+// real-mode runtime implements it over wall time and the TCP broker.
+type Env interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// After schedules fn to run d seconds from now.
+	After(d float64, fn func())
+	// NumWorkers returns the cluster size n.
+	NumWorkers() int
+	// Send delivers m from worker `from` to worker `to`, charging the
+	// network model for m's wire size.
+	Send(from, to int, m *wire.Message)
+	// Bandwidth returns the currently available bandwidth (Mbps) of the
+	// link from->to — the network resource monitor of Figure 10.
+	Bandwidth(from, to int) float64
+	// IterSeconds returns the duration one training iteration over batch
+	// samples costs worker w right now.
+	IterSeconds(w, batch int) float64
+	// ProfileCompute measures iteration seconds at each batch size — the
+	// LBS controller's capacity probe.
+	ProfileCompute(w int, batches []int) (x, y []float64)
+	// SendScale returns how many bytes cross the wire per byte of gradient
+	// or weight payload (the simulator inflates scaled-down models to the
+	// paper's 5 MB / 17 MB wire sizes; real mode returns 1). The
+	// transmission speed assurance module divides its budget by this.
+	SendScale() float64
+}
+
+// Stats counts a worker's activity.
+type Stats struct {
+	Iters            int64
+	SamplesProcessed int64
+	MsgsSent         int64
+	BytesSent        int64
+	GradValuesSent   int64
+	DKTWeightsSent   int64
+	DKTMerges        int64
+}
+
+// Worker is one DLion node. All methods must be invoked from the Env's
+// event-loop goroutine; the worker performs real gradient computation but
+// charges durations to the Env's clock.
+type Worker struct {
+	ID int
+
+	cfg      Config
+	env      Env
+	model    *nn.Model
+	shard    *data.Shard
+	selector grad.Selector
+
+	iter    int64
+	lbs     int
+	iterSec float64 // duration charged for the in-flight iteration
+	gbs     *gbsController
+
+	rcp      map[int]float64 // latest RCP report per worker (incl. self)
+	peerIter map[int]int64   // highest gradient iteration received per peer
+	peerLoss map[int]float64 // latest loss report per peer
+
+	lossWin     []float64
+	lastDKTIter int64
+
+	lastSelCount map[int]int // per-peer gradient values sent last iteration
+	lastBudget   map[int]int // per-peer byte budget last iteration
+
+	epochSamples float64 // cumulative global samples (GBS summed per iter)
+	trainSize    int
+
+	waitingSync bool
+	started     bool
+
+	stats Stats
+}
+
+// New builds a worker. The model must be this worker's own replica; the
+// shard its private partition of the training data.
+func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if env.NumWorkers() < 1 {
+		return nil, fmt.Errorf("core: empty cluster")
+	}
+	trainSize := shard.Dataset().Len()
+	gcfg := cfg.Batch.GBS
+	if gcfg.TrainSetSize == 0 {
+		// Default the GBS controller's 1%/10% caps to the actual dataset;
+		// experiments running scaled-down data may pin TrainSetSize to the
+		// paper's full dataset size so the controller behaves as it would
+		// at full scale.
+		gcfg.TrainSetSize = trainSize
+	}
+	w := &Worker{
+		ID: id, cfg: cfg, env: env, model: model, shard: shard,
+		selector:     cfg.NewSelector(),
+		lbs:          cfg.Batch.InitialLBS,
+		gbs:          newGBSController(gcfg, cfg.Batch.InitialLBS*env.NumWorkers()),
+		rcp:          map[int]float64{},
+		peerIter:     map[int]int64{},
+		peerLoss:     map[int]float64{},
+		lastSelCount: map[int]int{},
+		lastBudget:   map[int]int{},
+		trainSize:    trainSize,
+	}
+	return w, nil
+}
+
+// Accessors used by drivers, metrics collection and tests.
+
+// Iter returns the number of completed iterations.
+func (w *Worker) Iter() int64 { return w.iter }
+
+// LBS returns the current local batch size.
+func (w *Worker) LBS() int { return w.lbs }
+
+// GBS returns the current global batch size as this worker computes it.
+func (w *Worker) GBS() int { return w.gbs.GBSAt(w.env.Now(), w.epochsDone()) }
+
+// Model returns the worker's model replica.
+func (w *Worker) Model() *nn.Model { return w.model }
+
+// Stats returns a copy of the activity counters.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// LastSelectedCount returns the number of gradient values sent to peer on
+// the most recent iteration (Figures 8 and 20).
+func (w *Worker) LastSelectedCount(peer int) int { return w.lastSelCount[peer] }
+
+// LastBudget returns the most recent per-link byte budget for peer.
+func (w *Worker) LastBudget(peer int) int { return w.lastBudget[peer] }
+
+// AvgRecentLoss returns the mean of the recent-loss window (+Inf before
+// any iteration completes, so fresh workers never win best-worker
+// elections).
+func (w *Worker) AvgRecentLoss() float64 {
+	if len(w.lossWin) == 0 {
+		return inf
+	}
+	var s float64
+	for _, v := range w.lossWin {
+		s += v
+	}
+	return s / float64(len(w.lossWin))
+}
+
+const inf = 1e308
+
+func (w *Worker) epochsDone() float64 {
+	return w.epochSamples / float64(w.trainSize)
+}
+
+// Start begins training: the initial capacity profile, the periodic
+// re-profiling loop, and the first iteration.
+func (w *Worker) Start() {
+	if w.started {
+		panic("core: worker started twice")
+	}
+	w.started = true
+	if w.cfg.Batch.DynamicBatching {
+		w.profileAndBroadcast()
+		w.env.After(w.cfg.Batch.ProfilePeriod, w.profileLoop)
+	}
+	w.startIteration()
+}
+
+func (w *Worker) profileLoop() {
+	w.profileAndBroadcast()
+	w.env.After(w.cfg.Batch.ProfilePeriod, w.profileLoop)
+}
+
+// profileAndBroadcast runs the LBS controller's capacity probe and shares
+// the resulting RCP with all peers (§3.2).
+func (w *Worker) profileAndBroadcast() {
+	x, y := w.env.ProfileCompute(w.ID, profileBatches(w.cfg.Batch.InitialLBS))
+	r := computeRCP(x, y)
+	w.rcp[w.ID] = r
+	for _, p := range w.peers() {
+		w.send(&wire.Message{Type: wire.TypeRCPReport, From: int32(w.ID), To: int32(p),
+			Iter: w.iter, RCP: r})
+	}
+}
+
+func (w *Worker) peers() []int {
+	n := w.env.NumWorkers()
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != w.ID {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (w *Worker) send(m *wire.Message) {
+	w.stats.MsgsSent++
+	w.stats.BytesSent += int64(m.WireBytes())
+	w.env.Send(w.ID, int(m.To), m)
+}
+
+// currentLBS applies the GBS and LBS controllers (Eq. 5) to decide this
+// worker's batch for the next iteration.
+func (w *Worker) currentLBS() int {
+	gbs := w.gbs.GBSAt(w.env.Now(), w.epochsDone())
+	if !w.cfg.Batch.DynamicBatching {
+		l := gbs / w.env.NumWorkers()
+		if l < 1 {
+			l = 1
+		}
+		return l
+	}
+	shares := lbsShares(gbs, w.env.NumWorkers(), w.rcp, w.cfg.Batch.MinLBS)
+	return shares[w.ID]
+}
+
+// startIteration draws a batch, computes gradients against the current
+// weights, and schedules completion after the modeled iteration time.
+// Gradients live in the model's G buffers until completeIteration; remote
+// updates arriving meanwhile modify W only, mirroring a real worker whose
+// backward pass uses the weight snapshot it started from.
+func (w *Worker) startIteration() {
+	w.lbs = w.currentLBS()
+	x, y := w.shard.NextBatch(w.lbs)
+	loss, _ := w.model.TrainStep(x, y)
+	w.pushLoss(loss)
+	w.iterSec = w.env.IterSeconds(w.ID, w.lbs)
+	w.env.After(w.iterSec, w.completeIteration)
+}
+
+func (w *Worker) pushLoss(l float64) {
+	w.lossWin = append(w.lossWin, l)
+	if len(w.lossWin) > w.cfg.DKT.LossWindow {
+		w.lossWin = w.lossWin[1:]
+	}
+}
+
+// completeIteration applies the local update, exchanges partial gradients,
+// runs DKT bookkeeping, and advances (or blocks on) the sync strategy.
+func (w *Worker) completeIteration() {
+	w.iter++
+	w.stats.Iters++
+	w.stats.SamplesProcessed += int64(w.lbs)
+	w.epochSamples += float64(w.gbs.GBSAt(w.env.Now(), w.epochsDone()))
+
+	// Local model update: own gradient with db = 1 (Eq. 7, j = k).
+	n := float64(w.env.NumWorkers())
+	w.model.ApplySGD(w.cfg.LearningRate / n)
+
+	w.exchangeGradients()
+	w.maybeDKT()
+	w.maybeStartNext()
+}
+
+// maybeStartNext starts the next iteration if the synchronization strategy
+// allows, otherwise blocks until a qualifying gradient arrives.
+func (w *Worker) maybeStartNext() {
+	if w.canProceed() {
+		w.waitingSync = false
+		w.startIteration()
+		return
+	}
+	w.waitingSync = true
+}
+
+// canProceed implements the synch_training strategies (§4.2).
+func (w *Worker) canProceed() bool {
+	switch w.cfg.Sync.Mode {
+	case SyncAsync:
+		return true
+	case SyncFull:
+		for _, p := range w.peers() {
+			if w.peerIter[p] < w.iter {
+				return false
+			}
+		}
+		return true
+	case SyncBounded:
+		arrived := 0
+		minIter := int64(1 << 62)
+		for _, p := range w.peers() {
+			if w.peerIter[p] >= w.iter {
+				arrived++
+			}
+			if w.peerIter[p] < minIter {
+				minIter = w.peerIter[p]
+			}
+		}
+		need := len(w.peers()) - w.cfg.Sync.BackupWorkers
+		if arrived < need {
+			return false
+		}
+		return w.iter-minIter <= int64(w.cfg.Sync.Staleness)
+	}
+	return true
+}
+
+// HandleMessage processes one incoming message. It must be called from the
+// Env's event-loop goroutine.
+func (w *Worker) HandleMessage(m *wire.Message) {
+	from := int(m.From)
+	switch m.Type {
+	case wire.TypeGradient:
+		if m.Iter > w.peerIter[from] {
+			w.peerIter[from] = m.Iter
+		}
+		w.applyRemoteGradient(m)
+		if w.waitingSync && w.canProceed() {
+			w.waitingSync = false
+			w.startIteration()
+		}
+	case wire.TypeRCPReport:
+		w.rcp[from] = m.RCP
+	case wire.TypeLossReport:
+		w.peerLoss[from] = m.Loss
+	case wire.TypeDKTRequest:
+		w.sendWeights(from)
+	case wire.TypeWeights:
+		if err := w.model.MergeWeights(m.Weights, w.cfg.DKT.Lambda); err == nil {
+			w.stats.DKTMerges++
+		}
+	}
+}

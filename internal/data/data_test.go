@@ -1,0 +1,286 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlion/internal/tensor"
+)
+
+func tinyConfig(seed uint64) Config {
+	return Config{
+		Name:       "tiny",
+		NumClasses: 4,
+		Train:      200,
+		Test:       40,
+		Channels:   1,
+		Height:     8,
+		Width:      8,
+		Noise:      0.2,
+		Jitter:     1,
+		Bumps:      3,
+		Seed:       seed,
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	train, test, err := Generate(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 200 || test.Len() != 40 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	if train.SampleSize() != 64 {
+		t.Fatalf("sample size %d", train.SampleSize())
+	}
+	if got := len(train.Image(5)); got != 64 {
+		t.Fatalf("image len %d", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, _ := Generate(tinyConfig(7))
+	b, _, _ := Generate(tinyConfig(7))
+	for i := 0; i < a.Len(); i++ {
+		if a.Label(i) != b.Label(i) {
+			t.Fatal("labels differ across identical seeds")
+		}
+	}
+	ai, bi := a.Image(0), b.Image(0)
+	for k := range ai {
+		if ai[k] != bi[k] {
+			t.Fatal("pixels differ across identical seeds")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _, _ := Generate(tinyConfig(1))
+	b, _, _ := Generate(tinyConfig(2))
+	same := true
+	ai, bi := a.Image(0), b.Image(0)
+	for k := range ai {
+		if ai[k] != bi[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	train, _, _ := Generate(tinyConfig(3))
+	counts := make([]int, 4)
+	for i := 0; i < train.Len(); i++ {
+		counts[train.Label(i)]++
+	}
+	for cls, c := range counts {
+		if c != 50 {
+			t.Fatalf("class %d has %d samples, want 50", cls, c)
+		}
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// A nearest-template classifier should beat chance by a wide margin,
+	// otherwise the dataset is unlearnable and every experiment is noise.
+	cfg := tinyConfig(11)
+	train, test, _ := Generate(cfg)
+	sz := train.SampleSize()
+	centroids := make([][]float64, cfg.NumClasses)
+	counts := make([]int, cfg.NumClasses)
+	for c := range centroids {
+		centroids[c] = make([]float64, sz)
+	}
+	for i := 0; i < train.Len(); i++ {
+		c := train.Label(i)
+		counts[c]++
+		img := train.Image(i)
+		for k, v := range img {
+			centroids[c][k] += float64(v)
+		}
+	}
+	for c := range centroids {
+		for k := range centroids[c] {
+			centroids[c][k] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		img := test.Image(i)
+		best, bestD := -1, math.Inf(1)
+		for c := range centroids {
+			var d float64
+			for k, v := range img {
+				dv := float64(v) - centroids[c][k]
+				d += dv * dv
+			}
+			if d < bestD {
+				bestD, best = d, c
+			}
+		}
+		if best == test.Label(i) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.5 {
+		t.Fatalf("nearest-centroid accuracy %.2f; dataset not separable (chance=0.25)", acc)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := tinyConfig(1)
+	bad.NumClasses = 1
+	if _, _, err := Generate(bad); err == nil {
+		t.Fatal("1 class should fail")
+	}
+	bad = tinyConfig(1)
+	bad.Train = 2
+	if _, _, err := Generate(bad); err == nil {
+		t.Fatal("tiny train set should fail")
+	}
+	bad = tinyConfig(1)
+	bad.Height = 1
+	if _, _, err := Generate(bad); err == nil {
+		t.Fatal("tiny image should fail")
+	}
+}
+
+func TestCIFAR10ConfigScaling(t *testing.T) {
+	c := CIFAR10Config(0.01, 5)
+	if c.Train != 600 || c.Test != 100 {
+		t.Fatalf("scaled sizes %d/%d", c.Train, c.Test)
+	}
+	if c.NumClasses != 10 {
+		t.Fatal("CIFAR10 must have 10 classes")
+	}
+	if c := CIFAR10Config(0, 5); c.Train != 60000 {
+		t.Fatalf("scale<=0 should mean full size, got %d", c.Train)
+	}
+}
+
+func TestImageNet100Config(t *testing.T) {
+	c := ImageNet100Config(0.001, 5)
+	if c.NumClasses != 100 || c.Channels != 3 {
+		t.Fatalf("config %+v", c)
+	}
+	if c.Train != 1200 {
+		t.Fatalf("train %d", c.Train)
+	}
+}
+
+func TestPartitionDisjointAndComplete(t *testing.T) {
+	train, _, _ := Generate(tinyConfig(9))
+	shards, err := Partition(train, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		for _, i := range s.idx {
+			if seen[i] {
+				t.Fatalf("index %d in two shards", i)
+			}
+			seen[i] = true
+		}
+	}
+	if total != train.Len() {
+		t.Fatalf("shards cover %d of %d", total, train.Len())
+	}
+	// sizes within 1 of each other
+	for _, s := range shards {
+		if d := s.Len() - shards[0].Len(); d > 1 || d < -1 {
+			t.Fatalf("uneven shards")
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	train, _, _ := Generate(tinyConfig(9))
+	if _, err := Partition(train, 0, 1); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := Partition(train, train.Len()+1, 1); err == nil {
+		t.Fatal("more shards than samples must fail")
+	}
+}
+
+func TestNextBatchShapesAndCycle(t *testing.T) {
+	train, _, _ := Generate(tinyConfig(4))
+	shards, _ := Partition(train, 4, 1)
+	s := shards[0]
+	x, y := s.NextBatch(8)
+	if x.Shape[0] != 8 || x.Shape[1] != 1 || x.Shape[2] != 8 || x.Shape[3] != 8 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	if len(y) != 8 {
+		t.Fatalf("labels %d", len(y))
+	}
+	// Drawing more than shard size must not panic and must keep labels valid.
+	_, y2 := s.NextBatch(s.Len() * 2)
+	for _, l := range y2 {
+		if l < 0 || l >= 4 {
+			t.Fatalf("bad label %d", l)
+		}
+	}
+}
+
+func TestNextBatchCoversEpoch(t *testing.T) {
+	train, _, _ := Generate(tinyConfig(4))
+	shards, _ := Partition(train, 10, 1)
+	s := shards[0]
+	n := s.Len()
+	seen := map[int]int{}
+	// one epoch worth of size-1 batches must touch every sample once
+	for i := 0; i < n; i++ {
+		before := s.pos
+		s.NextBatch(1)
+		pick := s.idx[s.ord[before]]
+		seen[pick]++
+	}
+	if len(seen) != n {
+		t.Fatalf("epoch covered %d of %d samples", len(seen), n)
+	}
+}
+
+func TestEvalBatches(t *testing.T) {
+	_, test, _ := Generate(tinyConfig(4))
+	total := 0
+	EvalBatches(test, 7, func(x *tensor.Tensor, y []int) {
+		if x.Shape[0] != len(y) {
+			t.Fatalf("batch mismatch %v vs %d", x.Shape, len(y))
+		}
+		total += len(y)
+	})
+	if total != test.Len() {
+		t.Fatalf("eval covered %d of %d", total, test.Len())
+	}
+}
+
+func TestBatchPropertyLabelsMatchImages(t *testing.T) {
+	train, _, _ := Generate(tinyConfig(6))
+	f := func(seed uint64) bool {
+		i := int(seed % uint64(train.Len()))
+		x, y := train.Batch([]int{i})
+		if y[0] != train.Label(i) {
+			return false
+		}
+		img := train.Image(i)
+		for k, v := range img {
+			if x.Data[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package data
+
+import (
+	"fmt"
+
+	"dlion/internal/stats"
+	"dlion/internal/tensor"
+)
+
+// Shard is one worker's disjoint slice of a dataset, with its own sampling
+// stream. In DLion's model (§2.1) each worker trains on locally collected
+// data; shards model that partitioning.
+type Shard struct {
+	ds  *Dataset
+	idx []int
+	rng *stats.RNG
+	pos int
+	ord []int // current epoch order
+}
+
+// Partition splits ds into n disjoint, contiguous shards of near-equal
+// size. The dataset is pre-shuffled at generation time, so contiguous
+// splits are class-balanced.
+func Partition(ds *Dataset, n int, seed uint64) ([]*Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("data: cannot partition into %d shards", n)
+	}
+	if ds.Len() < n {
+		return nil, fmt.Errorf("data: %d samples cannot fill %d shards", ds.Len(), n)
+	}
+	root := stats.NewRNG(seed)
+	shards := make([]*Shard, n)
+	per := ds.Len() / n
+	rem := ds.Len() % n
+	start := 0
+	for w := 0; w < n; w++ {
+		count := per
+		if w < rem {
+			count++
+		}
+		idx := make([]int, count)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		start += count
+		shards[w] = &Shard{ds: ds, idx: idx, rng: root.Split(uint64(w))}
+		shards[w].reshuffle()
+	}
+	return shards, nil
+}
+
+func (s *Shard) reshuffle() {
+	s.ord = s.rng.Perm(len(s.idx))
+	s.pos = 0
+}
+
+// Len returns the number of samples in the shard.
+func (s *Shard) Len() int { return len(s.idx) }
+
+// Dataset returns the underlying dataset the shard indexes into.
+func (s *Shard) Dataset() *Dataset { return s.ds }
+
+// NextBatch draws the next m samples, cycling (and reshuffling) at epoch
+// boundaries, and returns them as a (m, C, H, W) tensor plus labels. m may
+// exceed the shard size; samples then repeat within the batch, which
+// mirrors how a small worker keeps feeding a large LBS.
+func (s *Shard) NextBatch(m int) (*tensor.Tensor, []int) {
+	if m < 1 {
+		panic("data: NextBatch with m < 1")
+	}
+	picks := make([]int, m)
+	for i := 0; i < m; i++ {
+		if s.pos >= len(s.ord) {
+			s.reshuffle()
+		}
+		picks[i] = s.idx[s.ord[s.pos]]
+		s.pos++
+	}
+	return s.ds.Batch(picks)
+}
+
+// EvalBatches iterates the whole dataset ds in batches of size m, calling
+// fn with each batch. It is used for test-set evaluation (which, per the
+// paper, runs every 20 iterations).
+func EvalBatches(ds *Dataset, m int, fn func(x *tensor.Tensor, y []int)) {
+	if m < 1 {
+		panic("data: EvalBatches with m < 1")
+	}
+	for start := 0; start < ds.Len(); start += m {
+		end := start + m
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, y := ds.Batch(idx)
+		fn(x, y)
+	}
+}

@@ -1,0 +1,98 @@
+package data
+
+import (
+	"fmt"
+
+	"dlion/internal/stats"
+)
+
+// Continuous data: the paper's motivating workload is data "continuously
+// generated from edge devices" with models that "periodically start or
+// resume training with the collected data" (§1). Generator produces fresh
+// samples from the same class templates over time, and Dataset/Shard grow
+// to absorb them.
+
+// Generator produces additional samples consistent with a dataset built
+// from the same Config (same class templates, fresh noise and jitter).
+type Generator struct {
+	cfg       Config
+	templates [][]float32
+	rng       *stats.RNG
+	produced  int
+}
+
+// NewGenerator builds a generator plus the initial train/test datasets.
+// The returned datasets are identical to Generate(cfg)'s.
+func NewGenerator(cfg Config) (*Generator, *Dataset, *Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	templates := makeTemplates(cfg, rng)
+	train := synthesize(cfg, cfg.Train, templates, rng.Split(1))
+	test := synthesize(cfg, cfg.Test, templates, rng.Split(2))
+	g := &Generator{cfg: cfg, templates: templates, rng: rng.Split(3)}
+	return g, train, test, nil
+}
+
+// Next produces n freshly generated samples as a standalone dataset chunk
+// (class-balanced, shuffled). Successive calls draw fresh noise, modeling
+// newly collected edge data.
+func (g *Generator) Next(n int) *Dataset {
+	if n < 1 {
+		panic("data: Generator.Next with n < 1")
+	}
+	g.produced++
+	return synthesize(g.cfg, n, g.templates, g.rng.Split(uint64(g.produced)))
+}
+
+// Append absorbs all of chunk's samples into d. The datasets must have
+// identical geometry. Views created by Head before the append keep their
+// original length; shards index the combined storage via Shard.Grow.
+func (d *Dataset) Append(chunk *Dataset) error {
+	if d.NumClasses != chunk.NumClasses || d.SampleSize() != chunk.SampleSize() {
+		return fmt.Errorf("data: cannot append %q (%d classes, %d values) to %q (%d, %d)",
+			chunk.Name, chunk.NumClasses, chunk.SampleSize(),
+			d.Name, d.NumClasses, d.SampleSize())
+	}
+	d.images = append(d.images, chunk.images...)
+	d.labels = append(d.labels, chunk.labels...)
+	return nil
+}
+
+// Grow adds the dataset indices [from, to) to the shard's sampling pool.
+// Newly added samples join the rotation at the next epoch boundary.
+func (s *Shard) Grow(from, to int) error {
+	if from < 0 || to > s.ds.Len() || from >= to {
+		return fmt.Errorf("data: bad grow range [%d, %d) for dataset of %d", from, to, s.ds.Len())
+	}
+	for i := from; i < to; i++ {
+		s.idx = append(s.idx, i)
+	}
+	return nil
+}
+
+// GrowEvenly appends chunk to the shared dataset and splits the new
+// indices across the given shards round-robin — the "each micro-cloud
+// collects nearby data" pattern. All shards must view the same dataset.
+func GrowEvenly(ds *Dataset, chunk *Dataset, shards []*Shard) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("data: no shards to grow")
+	}
+	for _, s := range shards {
+		if s.ds != ds {
+			return fmt.Errorf("data: shard does not view the given dataset")
+		}
+	}
+	start := ds.Len()
+	if err := ds.Append(chunk); err != nil {
+		return err
+	}
+	for i := start; i < ds.Len(); i++ {
+		s := shards[(i-start)%len(shards)]
+		if err := s.Grow(i, i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	cfg := tinyConfig(5)
+	g, train, test, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTrain, refTest, _ := Generate(cfg)
+	if train.Len() != refTrain.Len() || test.Len() != refTest.Len() {
+		t.Fatal("generator initial sets differ in size from Generate")
+	}
+	for i := 0; i < train.Len(); i++ {
+		if train.Label(i) != refTrain.Label(i) {
+			t.Fatal("generator initial labels differ from Generate")
+		}
+	}
+	_ = g
+}
+
+func TestGeneratorNextFreshButConsistent(t *testing.T) {
+	cfg := tinyConfig(6)
+	g, train, _, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := g.Next(40)
+	c2 := g.Next(40)
+	if c1.Len() != 40 || c2.Len() != 40 {
+		t.Fatal("chunk sizes")
+	}
+	// chunks differ from each other (fresh noise)
+	same := true
+	for k := range c1.Image(0) {
+		if c1.Image(0)[k] != c2.Image(0)[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("successive chunks identical")
+	}
+	// but drawn from the same class templates: a centroid classifier
+	// trained on the original data should classify chunk samples well
+	sz := train.SampleSize()
+	centroids := make([][]float64, cfg.NumClasses)
+	counts := make([]int, cfg.NumClasses)
+	for c := range centroids {
+		centroids[c] = make([]float64, sz)
+	}
+	for i := 0; i < train.Len(); i++ {
+		c := train.Label(i)
+		counts[c]++
+		for k, v := range train.Image(i) {
+			centroids[c][k] += float64(v)
+		}
+	}
+	for c := range centroids {
+		for k := range centroids[c] {
+			centroids[c][k] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < c1.Len(); i++ {
+		best, bestD := -1, 1e300
+		for c := range centroids {
+			var d float64
+			for k, v := range c1.Image(i) {
+				dv := float64(v) - centroids[c][k]
+				d += dv * dv
+			}
+			if d < bestD {
+				bestD, best = d, c
+			}
+		}
+		if best == c1.Label(i) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(c1.Len()); acc < 0.5 {
+		t.Fatalf("chunk not from same distribution: centroid acc %.2f", acc)
+	}
+}
+
+func TestAppendAndGrow(t *testing.T) {
+	cfg := tinyConfig(7)
+	g, train, _, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := Partition(train, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, 4)
+	for i, s := range shards {
+		before[i] = s.Len()
+	}
+	chunk := g.Next(41)
+	if err := GrowEvenly(train, chunk, shards); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, s := range shards {
+		grew := s.Len() - before[i]
+		if grew < 10 || grew > 11 {
+			t.Fatalf("shard %d grew by %d", i, grew)
+		}
+		total += grew
+	}
+	if total != 41 {
+		t.Fatalf("grew %d of 41", total)
+	}
+	// new samples must be drawable without panic and with valid labels
+	for _, s := range shards {
+		for e := 0; e < 3; e++ {
+			_, y := s.NextBatch(s.Len())
+			for _, l := range y {
+				if l < 0 || l >= cfg.NumClasses {
+					t.Fatalf("bad label %d", l)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendMismatch(t *testing.T) {
+	a, _, _ := Generate(tinyConfig(1))
+	other := tinyConfig(1)
+	other.Height = 10
+	b, _, _ := Generate(other)
+	if err := a.Append(b); err == nil {
+		t.Fatal("geometry mismatch must error")
+	}
+}
+
+func TestGrowErrors(t *testing.T) {
+	train, _, _ := Generate(tinyConfig(2))
+	shards, _ := Partition(train, 2, 1)
+	if err := shards[0].Grow(5, 5); err == nil {
+		t.Fatal("empty range must error")
+	}
+	if err := shards[0].Grow(0, train.Len()+1); err == nil {
+		t.Fatal("out-of-range must error")
+	}
+	chunk := train.Head(10)
+	if err := GrowEvenly(train, chunk, nil); err == nil {
+		t.Fatal("no shards must error")
+	}
+	other, _, _ := Generate(tinyConfig(3))
+	otherShards, _ := Partition(other, 2, 1)
+	if err := GrowEvenly(train, chunk, otherShards); err == nil {
+		t.Fatal("foreign shards must error")
+	}
+}

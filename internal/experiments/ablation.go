@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dlion/internal/core"
+	"dlion/internal/grad"
+	"dlion/internal/report"
+	"dlion/internal/systems"
+)
+
+func init() {
+	register("ablation-budget", "Transmission speed assurance on/off", runAblationBudget)
+	register("ablation-dbclamp", "Dynamic batching weight clamp", runAblationDBClamp)
+	register("ablation-sync", "DLion synchronization strategy", runAblationSync)
+	register("ablation-selector", "Data quality module: MaxN vs TopK vs RandomK", runAblationSelector)
+}
+
+// runAblationBudget isolates the transmission speed assurance module: DLion
+// with the per-link budget versus the same system always sending N=100
+// (whole gradients), in a constrained-network environment. The budget
+// should win where the network is the bottleneck (DESIGN.md decision 3).
+func runAblationBudget(p Profile) (*Outcome, error) {
+	t := report.NewTable("Ablation: per-link budget (Hetero NET A)",
+		"Variant", "Final accuracy")
+	o := &Outcome{ID: "ablation-budget", Title: "Link budget ablation"}
+	with := systems.DLion()
+	without := systems.DLion()
+	without.Name = "DLion-no-budget"
+	without.LinkBudget = false
+	accW, _, err := p.runAveraged(with.Name, with, "Hetero NET A")
+	if err != nil {
+		return nil, err
+	}
+	accWO, _, err := p.runAveraged(without.Name, without, "Hetero NET A")
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("with budget", mean(accW))
+	t.AddRow("without budget (always N=100)", mean(accWO))
+	o.addValue("with", mean(accW))
+	o.addValue("without", mean(accWO))
+	o.Text = t.String()
+	return o, nil
+}
+
+// runAblationDBClamp compares the default db clamp against an effectively
+// unclamped weighted update in the extreme-straggler environment.
+func runAblationDBClamp(p Profile) (*Outcome, error) {
+	t := report.NewTable("Ablation: db clamp (Hetero CPU B, one 4-core straggler)",
+		"DBClampMax", "Final accuracy")
+	o := &Outcome{ID: "ablation-dbclamp", Title: "db clamp ablation"}
+	for _, clamp := range []float64{2, 8, 1e9} {
+		sys := systems.DLion()
+		sys.Batch.DBClampMax = clamp
+		accs, _, err := p.runAveraged(sys.Name, sys, "Hetero CPU B")
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%g", clamp)
+		if clamp >= 1e9 {
+			label = "unclamped"
+		}
+		t.AddRow(label, mean(accs))
+		o.addValue(label, mean(accs))
+	}
+	o.Text = t.String()
+	return o, nil
+}
+
+// runAblationSelector swaps the data quality assurance module, keeping the
+// transmission budget and everything else fixed: Max N (magnitude within
+// N% of the max), exact top-k with error feedback, unbiased random-k, and
+// unfiltered Full. The paper's related-work section invites exactly this
+// plug-in comparison ("their compression algorithms can be placed in the
+// data quality assurance module", §6). Magnitude-aware selection should
+// beat random-k at equal bytes.
+func runAblationSelector(p Profile) (*Outcome, error) {
+	t := report.NewTable("Ablation: gradient selection algorithm at equal link budget (Hetero NET A)",
+		"Selector", "Final accuracy")
+	o := &Outcome{ID: "ablation-selector", Title: "selector ablation"}
+	variants := []struct {
+		label string
+		mk    func() grad.Selector
+	}{
+		{"MaxN (DLion)", func() grad.Selector { return grad.NewMaxN(100) }},
+		{"TopK+error feedback", func() grad.Selector { return grad.NewTopK(0.25) }},
+		{"RandomK (unbiased)", func() grad.Selector { return grad.NewRandomK(0.25, 17) }},
+		{"Full (ignores budget)", func() grad.Selector { return grad.Full{} }},
+	}
+	for _, v := range variants {
+		sys := systems.DLion()
+		sys.Name = "DLion/" + v.label
+		sys.NewSelector = v.mk
+		accs, _, err := p.runAveraged(sys.Name, sys, "Hetero NET A")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.label, mean(accs))
+		o.addValue(v.label, mean(accs))
+	}
+	o.Text = t.String()
+	return o, nil
+}
+
+// runAblationSync compares DLion under the three synch_training strategies
+// of §4.2 in a heterogeneous environment.
+func runAblationSync(p Profile) (*Outcome, error) {
+	t := report.NewTable("Ablation: DLion synchronization strategy (Hetero SYS A)",
+		"Strategy", "Final accuracy")
+	o := &Outcome{ID: "ablation-sync", Title: "sync strategy ablation"}
+	for _, v := range []struct {
+		label string
+		sync  core.SyncConfig
+	}{
+		{"async", core.SyncConfig{Mode: core.SyncAsync}},
+		{"bounded (backup=1, staleness=5)", core.SyncConfig{Mode: core.SyncBounded, BackupWorkers: 1, Staleness: 5}},
+		{"sync", core.SyncConfig{Mode: core.SyncFull}},
+	} {
+		sys := systems.DLion()
+		sys.Sync = v.sync
+		accs, _, err := p.runAveraged(v.label, sys, "Hetero SYS A")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.label, mean(accs))
+		o.addValue(v.label, mean(accs))
+	}
+	o.Text = t.String()
+	return o, nil
+}

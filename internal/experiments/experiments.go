@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Outcome is what one experiment produced: rendered text in the shape of
+// the paper's table/figure, headline values for programmatic assertions,
+// and notes documenting scale substitutions.
+type Outcome struct {
+	ID    string
+	Title string
+	Text  string
+	// Values holds headline numbers keyed by short names, e.g.
+	// "HeteroSYSA/DLion" -> final accuracy.
+	Values map[string]float64
+	Notes  []string
+}
+
+// addValue records a headline number.
+func (o *Outcome) addValue(key string, v float64) {
+	if o.Values == nil {
+		o.Values = map[string]float64{}
+	}
+	o.Values[key] = v
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // "table1", "fig11", ...
+	Title string
+	Run   func(p Profile) (*Outcome, error)
+}
+
+// registry is populated by the fig*/table* files' init-style definitions.
+var registry []Experiment
+
+func register(id, title string, run func(p Profile) (*Outcome, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts tables first, then figures numerically, then ablations.
+func orderKey(id string) string {
+	switch {
+	case strings.HasPrefix(id, "table"):
+		return "0" + fmt.Sprintf("%04s", id[5:])
+	case strings.HasPrefix(id, "fig"):
+		num := id[3:]
+		// pad the numeric prefix so fig9a < fig11
+		i := 0
+		for i < len(num) && num[i] >= '0' && num[i] <= '9' {
+			i++
+		}
+		return "1" + fmt.Sprintf("%04s", num[:i]) + num[i:]
+	default:
+		return "2" + id
+	}
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		id, strings.Join(IDs(), ", "))
+}
+
+// IDs lists all experiment ids in order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dlion/internal/cluster"
+	"dlion/internal/core"
+	"dlion/internal/env"
+	"dlion/internal/report"
+	"dlion/internal/stats"
+	"dlion/internal/systems"
+)
+
+func init() {
+	register("fig11", "System heterogeneity (CPU cluster): accuracy at time budget", runFig11)
+	register("fig12", "GPU cluster robustness: accuracy at time budget", runFig12)
+	register("fig13", "Heterogeneous compute resources: accuracy at time budget", runFig13)
+	register("fig14", "Dynamic batching / weighted update ablation: time to target", runFig14)
+	register("fig15", "Heterogeneous network resources: accuracy at time budget", runFig15)
+	register("fig16", "Max10 alone vs existing systems", runFig16)
+	register("fig17", "Deviation of model accuracy among workers", runFig17)
+	register("fig18", "Dynamic resource changes: highest accuracy", runFig18)
+	register("fig21", "Converged accuracy and time to convergence (Homo A)", runFig21)
+}
+
+// comparisonOutcome runs each system in each environment and tabulates the
+// mean final accuracy (averaged over p.Runs seeds), the shape shared by
+// Figures 11, 12, 13, 15, 16 and 18.
+func comparisonOutcome(id, title string, p Profile, envNames []string, sysList []core.Config) (*Outcome, error) {
+	cols := append([]string{"System"}, envNames...)
+	t := report.NewTable(title, cols...)
+	o := &Outcome{ID: id, Title: title}
+	type row struct {
+		name string
+		accs []string
+	}
+	var rows []row
+	for _, sys := range sysList {
+		r := row{name: sys.Name}
+		for _, envName := range envNames {
+			accs, _, err := p.runAveraged(sys.Name, sys, envName)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sys.Name, envName, err)
+			}
+			s := stats.Summarize(accs)
+			cell := fmt.Sprintf("%.3f", s.Mean)
+			if s.N > 1 {
+				cell += fmt.Sprintf("±%.3f", s.CI95)
+			}
+			r.accs = append(r.accs, cell)
+			o.addValue(envName+"/"+sys.Name, s.Mean)
+		}
+		rows = append(rows, r)
+	}
+	for _, r := range rows {
+		cells := []any{r.name}
+		for _, a := range r.accs {
+			cells = append(cells, a)
+		}
+		t.AddRow(cells...)
+	}
+	// improvement summary of DLion over each baseline, the headline the
+	// paper reports per figure
+	imp := report.NewTable("DLion improvement over each system (accuracy ratio)",
+		append([]string{"vs"}, envNames...)...)
+	for _, sys := range sysList {
+		if sys.Name == "DLion" {
+			continue
+		}
+		cells := []any{sys.Name}
+		for _, envName := range envNames {
+			d := o.Values[envName+"/DLion"]
+			b := o.Values[envName+"/"+sys.Name]
+			if b > 0 {
+				cells = append(cells, fmt.Sprintf("%.2fx", d/b))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		imp.AddRow(cells...)
+	}
+	o.Text = t.String() + "\n" + imp.String()
+	return o, nil
+}
+
+func runFig11(p Profile) (*Outcome, error) {
+	return comparisonOutcome("fig11",
+		"Fig 11: accuracy after the training budget, CPU cluster",
+		p, []string{"Homo A", "Hetero SYS A", "Hetero SYS B"}, systems.All())
+}
+
+func runFig12(p Profile) (*Outcome, error) {
+	return comparisonOutcome("fig12",
+		"Fig 12: MobileNetLite accuracy after the training budget, GPU cluster",
+		p, []string{"Homo C", "Hetero SYS C"}, systems.All())
+}
+
+func runFig13(p Profile) (*Outcome, error) {
+	return comparisonOutcome("fig13",
+		"Fig 13: accuracy under heterogeneous compute, homogeneous network",
+		p, []string{"Homo A", "Hetero CPU A", "Hetero CPU B"}, systems.All())
+}
+
+func runFig15(p Profile) (*Outcome, error) {
+	return comparisonOutcome("fig15",
+		"Fig 15: accuracy under heterogeneous network, homogeneous compute",
+		p, []string{"Homo A", "Homo B", "Hetero NET A"}, systems.All())
+}
+
+func runFig16(p Profile) (*Outcome, error) {
+	sysList := []core.Config{systems.Baseline(), systems.Ako(4), systems.Gaia(1),
+		systems.Hop(1, 5), systems.MaxNOnly(10)}
+	o, err := comparisonOutcome("fig16",
+		"Fig 16: Max10 alone (no other DLion techniques) vs existing systems",
+		p, []string{"Homo A", "Hetero SYS A"}, sysList)
+	if err != nil {
+		return nil, err
+	}
+	o.Notes = append(o.Notes,
+		"Max10 runs the Max N selector with fixed N=10 and no dynamic batching,",
+		"link budget, or DKT, isolating the data quality assurance module.")
+	return o, nil
+}
+
+// runFig14 measures time until the Cipher model reaches a target accuracy
+// for the three DLion variants of the dynamic-batching ablation.
+func runFig14(p Profile) (*Outcome, error) {
+	const target = 0.60
+	envNames := []string{"Homo A", "Hetero CPU A", "Hetero CPU B"}
+	variants := []core.Config{systems.DLionNoDBWU(), systems.DLionNoWU(), systems.DLion()}
+	t := report.NewTable(
+		fmt.Sprintf("Fig 14: seconds to reach %.0f%% accuracy (lower is better)", target*100),
+		append([]string{"Variant"}, envNames...)...)
+	o := &Outcome{ID: "fig14", Title: "DB/WU ablation"}
+	// finer evaluation cadence so time-to-accuracy is well resolved
+	fine := p
+	fine.EvalPeriod = p.EvalPeriod / 3
+	for _, sys := range variants {
+		cells := []any{sys.Name}
+		for _, envName := range envNames {
+			times := make([]float64, 0, fine.Runs)
+			for r := 0; r < fine.Runs; r++ {
+				e, err := env.Get(envName, fine.Seed+uint64(r)*31)
+				if err != nil {
+					return nil, err
+				}
+				res, err := cluster.Run(fine.clusterConfig(sys, e, r))
+				if err != nil {
+					return nil, err
+				}
+				if tt, ok := res.Timeline.TimeToAccuracy(target); ok {
+					times = append(times, tt)
+				} else {
+					times = append(times, fine.Horizon) // censored at horizon
+				}
+			}
+			mean := stats.Mean(times)
+			cells = append(cells, fmt.Sprintf("%.0f", mean))
+			o.addValue(envName+"/"+sys.Name, mean)
+		}
+		t.AddRow(cells...)
+	}
+	o.Text = t.String()
+	o.Notes = append(o.Notes,
+		"Times equal to the horizon mean the target was not reached (censored).")
+	return o, nil
+}
+
+// runFig17 reports the standard deviation of accuracy across workers.
+func runFig17(p Profile) (*Outcome, error) {
+	envNames := []string{"Hetero SYS B", "Hetero NET B", "Hetero CPU B"}
+	t := report.NewTable("Fig 17: stddev of final accuracy across workers (lower is better)",
+		append([]string{"System"}, envNames...)...)
+	o := &Outcome{ID: "fig17", Title: "Accuracy deviation"}
+	for _, sys := range systems.All() {
+		cells := []any{sys.Name}
+		for _, envName := range envNames {
+			devs := make([]float64, 0, p.Runs)
+			for r := 0; r < p.Runs; r++ {
+				e, err := env.Get(envName, p.Seed+uint64(r)*31)
+				if err != nil {
+					return nil, err
+				}
+				res, err := cluster.Run(p.clusterConfig(sys, e, r))
+				if err != nil {
+					return nil, err
+				}
+				devs = append(devs, res.Timeline.FinalDeviation())
+			}
+			mean := stats.Mean(devs)
+			cells = append(cells, fmt.Sprintf("%.4f", mean))
+			o.addValue(envName+"/"+sys.Name, mean)
+		}
+		t.AddRow(cells...)
+	}
+	o.Text = t.String()
+	return o, nil
+}
+
+// runFig18 compares the systems under dynamically changing resources, with
+// the three 500-second paper phases scaled to a third of the horizon each.
+func runFig18(p Profile) (*Outcome, error) {
+	t := report.NewTable("Fig 18: best accuracy under dynamic resources",
+		"System", "Dynamic SYS A", "Dynamic SYS B")
+	o := &Outcome{ID: "fig18", Title: "Dynamic resources"}
+	for _, sys := range systems.All() {
+		cells := []any{sys.Name}
+		for _, variant := range []string{"A", "B"} {
+			accs := make([]float64, 0, p.Runs)
+			for r := 0; r < p.Runs; r++ {
+				e := env.Dynamic(variant, p.Horizon/3, p.Seed+uint64(r)*31)
+				res, err := cluster.Run(p.clusterConfig(sys, e, r))
+				if err != nil {
+					return nil, err
+				}
+				accs = append(accs, res.Timeline.BestMean())
+			}
+			mean := stats.Mean(accs)
+			cells = append(cells, fmt.Sprintf("%.3f", mean))
+			o.addValue("Dynamic SYS "+variant+"/"+sys.Name, mean)
+		}
+		t.AddRow(cells...)
+	}
+	o.Text = t.String()
+	o.Notes = append(o.Notes,
+		fmt.Sprintf("Paper phases last 500 s each; here %.0f s each (horizon/3).", p.Horizon/3))
+	return o, nil
+}
+
+// runFig21 trains each system in Homo A until the accuracy timeline
+// plateaus, reporting the converged accuracy and the time to reach it.
+func runFig21(p Profile) (*Outcome, error) {
+	t := report.NewTable("Fig 21: converged accuracy and time to convergence (Homo A)",
+		"System", "Final accuracy", "Convergence time (s)")
+	o := &Outcome{ID: "fig21", Title: "Convergence"}
+	for _, sys := range systems.All() {
+		e, err := env.Get("Homo A", p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := p.clusterConfig(sys, e, 0)
+		res, convT, err := cluster.RunUntilConverged(cfg, 3, 0.01, 2*p.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		acc := res.Timeline.FinalMean()
+		t.AddRow(sys.Name, acc, fmt.Sprintf("%.0f", convT))
+		o.addValue("acc/"+sys.Name, acc)
+		o.addValue("time/"+sys.Name, convT)
+	}
+	o.Text = t.String()
+	return o, nil
+}

@@ -1,0 +1,147 @@
+// Package experiments defines one runnable reproduction per table and
+// figure of the paper's evaluation (§5), shared by the benchmark suite
+// (bench_test.go) and the CLI harness (cmd/dlion-bench). Each experiment
+// builds on the Table 3 environments, runs the relevant systems on the
+// simulator, and renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"dlion/internal/cluster"
+	"dlion/internal/core"
+	"dlion/internal/data"
+	"dlion/internal/env"
+	"dlion/internal/nn"
+)
+
+// Profile scales every experiment. The paper trained real CIFAR10 for 1500
+// wall seconds per run; this reproduction trains a scaled synthetic
+// dataset for a scaled virtual horizon so the full suite finishes in
+// minutes. Relative comparisons (who wins, by roughly what factor) are the
+// reproduction target, not absolute numbers — see EXPERIMENTS.md.
+type Profile struct {
+	// DataScale scales the synthetic CIFAR10 substitute (1.0 = 60K/10K).
+	DataScale float64
+	// GPUDataScale scales the ImageNet-100 substitute for GPU experiments.
+	GPUDataScale float64
+
+	// Horizon stands in for the paper's 1500-second CPU-cluster budget.
+	Horizon float64
+	// GPUHorizon stands in for the paper's 2-hour GPU-cluster budget.
+	GPUHorizon float64
+
+	EvalPeriod  float64
+	EvalSubset  int
+	TracePeriod float64
+
+	// DKTPeriod and DKTLambda rescale direct knowledge transfer for the
+	// shorter runs: the paper's period of 100 iterations assumes runs of
+	// thousands of iterations; ours have tens to hundreds.
+	DKTPeriod int64
+	DKTLambda float64
+
+	// Runs averages each measurement over this many seeds (the paper
+	// averages 3).
+	Runs int
+	Seed uint64
+
+	// WireAmplify multiplies the models' paper wire sizes (5 MB Cipher,
+	// 17 MB MobileNet). The simulated compute cost model runs iterations
+	// ~5x slower than the paper's real hardware (so that experiments
+	// finish in seconds of wall time); amplifying the wire size by the
+	// same factor preserves the paper's communication-to-computation
+	// ratio, which is what makes its WAN experiments network-bound.
+	WireAmplify float64
+}
+
+// Fast is the quick profile used by `go test -bench` — each experiment
+// finishes in tens of seconds of wall time on a single core.
+func Fast() Profile {
+	return Profile{
+		DataScale:    0.035,  // 2100 train / 350 test
+		GPUDataScale: 0.0015, // 1800 train
+		Horizon:      200,
+		GPUHorizon:   200,
+		EvalPeriod:   50,
+		EvalSubset:   180,
+		TracePeriod:  8,
+		DKTPeriod:    10,
+		DKTLambda:    1.0,
+		Runs:         1,
+		Seed:         7,
+		WireAmplify:  5,
+	}
+}
+
+// Standard is the fuller profile used by `cmd/dlion-bench` for the numbers
+// recorded in EXPERIMENTS.md: longer horizons and paper-style 3-run
+// averaging.
+func Standard() Profile {
+	p := Fast()
+	p.DataScale = 0.05
+	p.GPUDataScale = 0.002
+	p.Horizon = 600
+	p.GPUHorizon = 600
+	p.EvalPeriod = 100
+	p.Runs = 3
+	return p
+}
+
+// system applies the profile's DKT rescaling to a preset.
+func (p Profile) system(cfg core.Config) core.Config {
+	if cfg.DKT.Enabled {
+		cfg.DKT.Period = p.DKTPeriod
+		cfg.DKT.Lambda = p.DKTLambda
+	}
+	return cfg
+}
+
+// clusterConfig assembles a cluster.Config for a system in an environment.
+// run indexes the averaging seed.
+func (p Profile) clusterConfig(sys core.Config, e *env.Env, run int) cluster.Config {
+	seed := p.Seed + uint64(run)*101
+	dc := data.CIFAR10Config(p.DataScale, seed+13)
+	model := nn.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, 0)
+	horizon := p.Horizon
+	if e.GPU {
+		dc = data.ImageNet100Config(p.GPUDataScale, seed+13)
+		model = nn.MobileNetLiteSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, 0)
+		horizon = p.GPUHorizon
+	}
+	if p.WireAmplify > 0 {
+		model.WireBytes = int(float64(model.WireBytes) * p.WireAmplify)
+	}
+	return cluster.Config{
+		System:     p.system(sys),
+		Model:      model,
+		Data:       dc,
+		N:          e.N,
+		Computes:   e.Computes,
+		Network:    e.Network,
+		Horizon:    horizon,
+		EvalPeriod: p.EvalPeriod,
+		EvalSubset: p.EvalSubset,
+		Seed:       seed,
+	}
+}
+
+// runAveraged runs a (system, environment) pair p.Runs times and returns
+// the final mean accuracies, one per run. Fresh environments are built per
+// run because compute schedules carry RNG state.
+func (p Profile) runAveraged(sysName string, sys core.Config, envName string) ([]float64, []*cluster.Result, error) {
+	accs := make([]float64, 0, p.Runs)
+	results := make([]*cluster.Result, 0, p.Runs)
+	for r := 0; r < p.Runs; r++ {
+		e, err := env.Get(envName, p.Seed+uint64(r)*31)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := cluster.Run(p.clusterConfig(sys, e, r))
+		if err != nil {
+			return nil, nil, err
+		}
+		accs = append(accs, res.Timeline.FinalMean())
+		results = append(results, res)
+	}
+	_ = sysName
+	return accs, results, nil
+}

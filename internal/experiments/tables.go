@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"dlion/internal/env"
+	"dlion/internal/report"
+)
+
+func init() {
+	register("table1", "Lines of code to emulate systems in DLion", runTable1)
+	register("table2", "Measured network bandwidth between AWS regions", runTable2)
+	register("table3", "Emulation details for micro-cloud environments", runTable3)
+}
+
+// runTable1 reproduces Table 1's point — each comparison system is a small
+// plugin over the shared framework — by counting the actual lines of this
+// repository's plugin surface: the per-system gradient-selection algorithm
+// (the generate_partial_gradients analog in internal/grad) and the preset
+// wiring (internal/systems). Counting is done from source when the repo is
+// available, mirroring how the paper counted changed lines.
+func runTable1(p Profile) (*Outcome, error) {
+	t := report.NewTable("Table 1: plugin size per system (lines of Go)",
+		"API", "Baseline", "Hop", "Gaia", "Ako", "DLion(MaxN)")
+	selector := map[string]string{
+		"Baseline":    "Full",
+		"Hop":         "Full", // Hop exchanges whole gradients; its plugin is the sync strategy
+		"Gaia":        "Gaia",
+		"Ako":         "Ako",
+		"DLion(MaxN)": "MaxN",
+	}
+	selLines := map[string]int{}
+	for sys, typ := range selector {
+		n, err := countTypeLines("internal/grad", typ)
+		if err != nil {
+			return nil, err
+		}
+		selLines[sys] = n
+	}
+	presetLines := map[string]int{}
+	for sys, fn := range map[string]string{
+		"Baseline": "Baseline", "Hop": "Hop", "Gaia": "Gaia",
+		"Ako": "Ako", "DLion(MaxN)": "DLion",
+	} {
+		n, err := countFuncLines("internal/systems", fn)
+		if err != nil {
+			return nil, err
+		}
+		presetLines[sys] = n
+	}
+	order := []string{"Baseline", "Hop", "Gaia", "Ako", "DLion(MaxN)"}
+	selRow := []any{"generate_partial_gradients (selector impl)"}
+	cfgRow := []any{"system preset (selector + synch_training wiring)"}
+	for _, s := range order {
+		selRow = append(selRow, selLines[s])
+		cfgRow = append(cfgRow, presetLines[s])
+	}
+	t.AddRow(selRow...)
+	t.AddRow(cfgRow...)
+	o := &Outcome{ID: "table1", Title: "Plugin lines of code",
+		Text: t.String(),
+		Notes: []string{
+			"The paper reports <=23 changed lines per emulated system; here the entire",
+			"per-system surface is the selector implementation plus a ~10-line preset,",
+			"confirming the framework's generality claim.",
+		}}
+	for _, s := range order {
+		o.addValue("preset/"+s, float64(presetLines[s]))
+	}
+	return o, nil
+}
+
+// countFuncLines counts the source lines of a named top-level function in
+// a package directory (relative to the repo root).
+func countFuncLines(dir, name string) (int, error) {
+	return countDeclLines(dir, name, false)
+}
+
+// countTypeLines counts the lines of a named type declaration plus all of
+// its methods and same-named constructor (NewX).
+func countTypeLines(dir, name string) (int, error) {
+	return countDeclLines(dir, name, true)
+}
+
+func countDeclLines(dir, name string, includeMethods bool) (int, error) {
+	root, err := repoRoot()
+	if err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				total += declLinesIfNamed(fset, decl, name, includeMethods)
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: declaration %q not found in %s", name, dir)
+	}
+	return total, nil
+}
+
+// declLinesIfNamed returns the line count of decl if it is the named
+// function, the named type declaration, or (when includeMethods) a method
+// on the named type or its NewX constructor; otherwise 0.
+func declLinesIfNamed(fset *token.FileSet, decl ast.Decl, name string, includeMethods bool) int {
+	span := func(n ast.Node) int {
+		return fset.Position(n.End()).Line - fset.Position(n.Pos()).Line + 1
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Recv == nil {
+			if d.Name.Name == name || (includeMethods && d.Name.Name == "New"+name) {
+				return span(d)
+			}
+			return 0
+		}
+		if !includeMethods {
+			return 0
+		}
+		// method: match receiver base type
+		t := d.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if ident, ok := t.(*ast.Ident); ok && ident.Name == name {
+			return span(d)
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE {
+			return 0
+		}
+		for _, spec := range d.Specs {
+			if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+				return span(ts)
+			}
+		}
+	}
+	return 0
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("experiments: go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// runTable2 prints the AWS inter-region bandwidth matrix used to emulate
+// WAN links.
+func runTable2(Profile) (*Outcome, error) {
+	cols := append([]string{"(Mbps)"}, abbrevRegions()...)
+	t := report.NewTable("Table 2: measured bandwidth between AWS regions", cols...)
+	for i, row := range env.Table2 {
+		cells := []any{env.Table2Regions[i]}
+		for j, v := range row {
+			if i == j {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, int(v))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return &Outcome{ID: "table2", Title: "AWS bandwidth matrix", Text: t.String(),
+		Notes: []string{"Instantiated as the 'Table2 WAN' environment (simnet.FromMatrix)."}}, nil
+}
+
+func abbrevRegions() []string {
+	out := make([]string, len(env.Table2Regions))
+	for i, r := range env.Table2Regions {
+		out[i] = r[:1]
+	}
+	out[4], out[5] = "S1", "S2"
+	return out
+}
+
+// runTable3 prints every emulated environment with its compute and network
+// settings at t=0 (the dynamic environments also list their later phases).
+func runTable3(Profile) (*Outcome, error) {
+	t := report.NewTable("Table 3: emulated micro-cloud environments",
+		"Environment", "Computation (capacity units)", "Network (Mbps egress)")
+	for _, name := range env.Names() {
+		e, err := env.Get(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		comp := ""
+		net := ""
+		for i := 0; i < e.N; i++ {
+			if i > 0 {
+				comp += "/"
+				net += "/"
+			}
+			comp += fmt.Sprintf("%g", e.Computes[i].Capacity.At(0))
+			bw, _ := e.Network.BandwidthAt(i, (i+1)%e.N, 0)
+			net += fmt.Sprintf("%g", bw)
+		}
+		label := name
+		if e.GPU {
+			label += " (GPU)"
+		}
+		t.AddRow(label, comp, net)
+	}
+	return &Outcome{ID: "table3", Title: "Environments", Text: t.String(),
+		Notes: []string{
+			"Capacity units are CPU cores; one GPU = 30 units (p2.8xlarge = 240).",
+			"Dynamic SYS A/B change compute and network at t=500s and t=1000s.",
+		}}, nil
+}

@@ -1,0 +1,81 @@
+package grad
+
+import (
+	"testing"
+
+	"dlion/internal/nn"
+	"dlion/internal/stats"
+	"dlion/internal/tensor"
+)
+
+func benchParams(n int) []*nn.Param {
+	rng := stats.NewRNG(1)
+	g := make([]float32, n)
+	for i := range g {
+		g[i] = float32(rng.NormFloat64())
+	}
+	p := &nn.Param{Name: "w", W: tensor.New(n), G: tensor.FromSlice(g, n)}
+	p.W.Fill(1)
+	return []*nn.Param{p}
+}
+
+func BenchmarkFullSelect(b *testing.B) {
+	ps := benchParams(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Full{}.Select(0, ps, 0)
+	}
+}
+
+func BenchmarkMaxNSelectFixed(b *testing.B) {
+	ps := benchParams(100_000)
+	m := NewMaxN(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Select(0, ps, 0)
+	}
+}
+
+func BenchmarkMaxNSelectBudgeted(b *testing.B) {
+	ps := benchParams(100_000)
+	m := NewMaxN(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Select(0, ps, 50_000)
+	}
+}
+
+func BenchmarkGaiaSelect(b *testing.B) {
+	ps := benchParams(100_000)
+	g := NewGaia(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Select(0, ps, 0)
+	}
+}
+
+func BenchmarkAkoSelect(b *testing.B) {
+	ps := benchParams(100_000)
+	a := NewAko(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Select(0, ps, 0)
+	}
+}
+
+func BenchmarkSelectionAddTo(b *testing.B) {
+	ps := benchParams(100_000)
+	sels := NewMaxN(50).Select(0, ps, 0)
+	dst := make([]float32, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sels {
+			s.AddTo(dst, 0.01)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package grad
+
+import (
+	"sort"
+
+	"dlion/internal/nn"
+	"dlion/internal/stats"
+)
+
+// This file hosts the gradient-compression selectors the paper's related
+// work section points at ("their compression algorithms can be placed in
+// the data quality assurance module in DLion", §6): exact top-k selection
+// with error feedback, and random-k sparsification. They slot into the
+// same Selector interface as Max N, so any system preset can adopt them.
+
+// TopK selects the k largest-magnitude gradient values per variable, where
+// k is a fixed fraction of the variable's size (budget-driven when a link
+// budget is supplied). Values not sent accumulate in an error-feedback
+// buffer per peer, the standard correction that keeps sparsified SGD
+// convergent (Alistarh et al., NeurIPS'18).
+type TopK struct {
+	// Fraction of each variable sent when no byte budget applies, (0, 1].
+	Fraction float64
+	// ErrorFeedback keeps and re-adds the unsent residual.
+	ErrorFeedback bool
+
+	residual map[int]map[string][]float32
+}
+
+// NewTopK returns a TopK selector sending the given fraction per variable,
+// with error feedback enabled.
+func NewTopK(fraction float64) *TopK {
+	if fraction <= 0 || fraction > 1 {
+		panic("grad: TopK requires 0 < fraction <= 1")
+	}
+	return &TopK{Fraction: fraction, ErrorFeedback: true,
+		residual: map[int]map[string][]float32{}}
+}
+
+// Name implements Selector.
+func (t *TopK) Name() string { return "topk" }
+
+// Select implements Selector.
+func (t *TopK) Select(to int, params []*nn.Param, budgetBytes int) []*Selection {
+	peer := t.residual[to]
+	if peer == nil {
+		peer = map[string][]float32{}
+		t.residual[to] = peer
+	}
+	// derive the per-variable fraction from the budget when present
+	frac := t.Fraction
+	if budgetBytes > 0 {
+		total := 0
+		for _, p := range params {
+			total += p.G.Len()
+		}
+		if total > 0 {
+			frac = float64(budgetBytes) / float64(total*sparseEntryBytes)
+			if frac > 1 {
+				frac = 1
+			}
+			if frac <= 0 {
+				frac = 1.0 / float64(total)
+			}
+		}
+	}
+	out := make([]*Selection, 0, len(params))
+	for _, p := range params {
+		g := p.G.Data
+		res := peer[p.Name]
+		if t.ErrorFeedback {
+			if res == nil {
+				res = make([]float32, len(g))
+				peer[p.Name] = res
+			}
+			for i, v := range g {
+				res[i] += v
+			}
+			g = res
+		}
+		k := int(frac * float64(len(g)))
+		if k < 1 {
+			k = 1
+		}
+		if k >= len(g) {
+			sel := &Selection{Var: p.Name, Total: len(g), Dense: append([]float32(nil), g...)}
+			if t.ErrorFeedback {
+				for i := range res {
+					res[i] = 0
+				}
+			}
+			out = append(out, sel)
+			continue
+		}
+		idx := topKIndices(g, k)
+		sel := &Selection{Var: p.Name, Total: len(g),
+			Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
+		for _, i := range idx {
+			sel.Idx = append(sel.Idx, int32(i))
+			sel.Val = append(sel.Val, g[i])
+			if t.ErrorFeedback {
+				res[i] = 0
+			}
+		}
+		out = append(out, sel)
+	}
+	return out
+}
+
+// topKIndices returns the indices of the k largest |values|, ascending by
+// index for cache-friendly application.
+func topKIndices(g []float32, k int) []int {
+	idx := make([]int, len(g))
+	for i := range idx {
+		idx[i] = i
+	}
+	// partial selection: full sort is fine at our sizes and simplest
+	sort.Slice(idx, func(a, b int) bool {
+		return abs32(g[idx[a]]) > abs32(g[idx[b]])
+	})
+	idx = idx[:k]
+	sort.Ints(idx)
+	return idx
+}
+
+// RandomK sparsifies by sending k uniformly random coordinates per
+// variable, scaled by len/k so the sparsified gradient is an unbiased
+// estimator. A control baseline for magnitude-aware selection: it answers
+// "does picking the *important* values matter, or just sending fewer?".
+type RandomK struct {
+	Fraction float64
+	rng      *stats.RNG
+}
+
+// NewRandomK returns a RandomK selector with its own deterministic stream.
+func NewRandomK(fraction float64, seed uint64) *RandomK {
+	if fraction <= 0 || fraction > 1 {
+		panic("grad: RandomK requires 0 < fraction <= 1")
+	}
+	return &RandomK{Fraction: fraction, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Selector.
+func (r *RandomK) Name() string { return "randomk" }
+
+// Select implements Selector. The byte budget, when present, overrides the
+// fraction exactly as in TopK.
+func (r *RandomK) Select(_ int, params []*nn.Param, budgetBytes int) []*Selection {
+	frac := r.Fraction
+	if budgetBytes > 0 {
+		total := 0
+		for _, p := range params {
+			total += p.G.Len()
+		}
+		if total > 0 {
+			frac = float64(budgetBytes) / float64(total*sparseEntryBytes)
+			if frac > 1 {
+				frac = 1
+			}
+			if frac <= 0 {
+				frac = 1.0 / float64(total)
+			}
+		}
+	}
+	out := make([]*Selection, 0, len(params))
+	for _, p := range params {
+		g := p.G.Data
+		k := int(frac * float64(len(g)))
+		if k < 1 {
+			k = 1
+		}
+		if k >= len(g) {
+			out = append(out, denseSelection(p))
+			continue
+		}
+		scale := float32(len(g)) / float32(k)
+		perm := r.rng.Perm(len(g))[:k]
+		sort.Ints(perm)
+		sel := &Selection{Var: p.Name, Total: len(g),
+			Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
+		for _, i := range perm {
+			sel.Idx = append(sel.Idx, int32(i))
+			sel.Val = append(sel.Val, g[i]*scale)
+		}
+		out = append(out, sel)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package grad
+
+import (
+	"math"
+	"testing"
+
+	"dlion/internal/stats"
+)
+
+func TestTopKSelectsLargestMagnitudes(t *testing.T) {
+	ps := makeParams(map[string][]float32{"a": {0.1, -5, 0.2, 3, -0.05, 1}})
+	tk := NewTopK(0.5) // k = 3
+	sels := tk.Select(0, ps, 0)
+	if TotalCount(sels) != 3 {
+		t.Fatalf("count %d", TotalCount(sels))
+	}
+	got := map[int32]float32{}
+	for k, i := range sels[0].Idx {
+		got[i] = sels[0].Val[k]
+	}
+	if got[1] != -5 || got[3] != 3 || got[5] != 1 {
+		t.Fatalf("wrong selection: %v", got)
+	}
+	// indices ascending
+	for k := 1; k < len(sels[0].Idx); k++ {
+		if sels[0].Idx[k] <= sels[0].Idx[k-1] {
+			t.Fatal("indices not ascending")
+		}
+	}
+}
+
+func TestTopKErrorFeedbackAccumulates(t *testing.T) {
+	tk := NewTopK(0.25) // k=1 of 4
+	ps := makeParams(map[string][]float32{"a": {1, 0.6, 0.6, 0.6}})
+	s1 := tk.Select(0, ps, 0)
+	if s1[0].Val[0] != 1 {
+		t.Fatalf("first round should send the 1: %v", s1[0].Val)
+	}
+	// second round, same fresh gradient: coord 0's residual was cleared so
+	// it offers 1, while coord 1 offers residual 0.6 + fresh 0.6 = 1.2 and
+	// must win — that is the error feedback doing its job
+	s2 := tk.Select(0, ps, 0)
+	if s2[0].Idx[0] == 0 {
+		t.Fatalf("error feedback ignored: resent coord 0 (%v)", s2[0])
+	}
+	if math.Abs(float64(s2[0].Val[0])-1.2) > 1e-6 {
+		t.Fatalf("accumulated value %v, want 1.2", s2[0].Val[0])
+	}
+}
+
+func TestTopKConservationWithFeedback(t *testing.T) {
+	// everything fed is eventually sent or held in residual
+	tk := NewTopK(0.3)
+	rng := stats.NewRNG(2)
+	var fed, sent float64
+	vals := make([]float32, 40)
+	for round := 0; round < 10; round++ {
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64())
+			fed += float64(vals[i])
+		}
+		ps := makeParams(map[string][]float32{"a": vals})
+		for _, s := range tk.Select(0, ps, 0) {
+			for _, v := range s.Val {
+				sent += float64(v)
+			}
+			for _, v := range s.Dense {
+				sent += float64(v)
+			}
+		}
+	}
+	var pending float64
+	for _, res := range tk.residual[0] {
+		for _, v := range res {
+			pending += float64(v)
+		}
+	}
+	if math.Abs(fed-(sent+pending)) > 1e-3 {
+		t.Fatalf("conservation violated: fed %v vs sent+pending %v", fed, sent+pending)
+	}
+}
+
+func TestTopKBudgetDrivesFraction(t *testing.T) {
+	rng := stats.NewRNG(3)
+	g := make([]float32, 1000)
+	for i := range g {
+		g[i] = float32(rng.NormFloat64())
+	}
+	ps := makeParams(map[string][]float32{"a": g})
+	tk := NewTopK(1.0)
+	small := TotalCount(tk.Select(0, ps, 800)) // ~100 entries
+	tk2 := NewTopK(1.0)
+	large := TotalCount(tk2.Select(0, ps, 4000)) // ~500 entries
+	if small >= large {
+		t.Fatalf("budget not respected: %d vs %d", small, large)
+	}
+	if small < 50 || small > 150 {
+		t.Fatalf("small selection %d far from budget/8=100", small)
+	}
+}
+
+func TestTopKFullFractionDense(t *testing.T) {
+	ps := makeParams(map[string][]float32{"a": {1, 2}})
+	tk := NewTopK(1.0)
+	sels := tk.Select(0, ps, 0)
+	if sels[0].Dense == nil {
+		t.Fatal("fraction 1 should send dense")
+	}
+	// residual cleared after dense send
+	s2 := tk.Select(0, ps, 0)
+	if s2[0].Dense[0] != 1 {
+		t.Fatalf("residual not cleared: %v", s2[0].Dense)
+	}
+}
+
+func TestRandomKUnbiased(t *testing.T) {
+	// E[sparsified] = gradient: average many draws of a constant gradient
+	g := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	ps := makeParams(map[string][]float32{"a": g})
+	rk := NewRandomK(0.25, 5)
+	sum := make([]float64, len(g))
+	const rounds = 4000
+	for r := 0; r < rounds; r++ {
+		for _, s := range rk.Select(0, ps, 0) {
+			for k, i := range s.Idx {
+				sum[i] += float64(s.Val[k])
+			}
+		}
+	}
+	for i, want := range g {
+		got := sum[i] / rounds
+		if math.Abs(got-float64(want))/float64(want) > 0.15 {
+			t.Fatalf("biased at %d: mean %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRandomKCount(t *testing.T) {
+	g := make([]float32, 100)
+	for i := range g {
+		g[i] = 1
+	}
+	ps := makeParams(map[string][]float32{"a": g})
+	rk := NewRandomK(0.1, 1)
+	sels := rk.Select(0, ps, 0)
+	if TotalCount(sels) != 10 {
+		t.Fatalf("count %d, want 10", TotalCount(sels))
+	}
+	// distinct ascending indices
+	seen := map[int32]bool{}
+	for _, i := range sels[0].Idx {
+		if seen[i] {
+			t.Fatal("duplicate index")
+		}
+		seen[i] = true
+	}
+}
+
+func TestCompressConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"topk0":    func() { NewTopK(0) },
+		"topk2":    func() { NewTopK(2) },
+		"randomk0": func() { NewRandomK(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if NewTopK(0.5).Name() != "topk" || NewRandomK(0.5, 1).Name() != "randomk" {
+		t.Fatal("names")
+	}
+}

@@ -1,0 +1,122 @@
+// Package grad implements the gradient selection algorithms DLion and the
+// comparison systems use to decide *which* gradient values cross the
+// network each iteration: Full (Baseline), Max N (DLion, §3.3), Gaia's
+// significance filter, and Ako's partitioned exchange.
+//
+// Selection granularity is the individual weight variable, matching §4.2
+// ("the granularity of data transmission is not the whole weight variables,
+// but individual weight variables").
+package grad
+
+import (
+	"fmt"
+
+	"dlion/internal/nn"
+)
+
+// Selection is the subset of one weight variable's gradient chosen for
+// transmission: either a dense vector or a sparse (index, value) list.
+type Selection struct {
+	Var   string
+	Total int // full element count of the variable
+
+	Dense []float32 // dense representation (len == Total), or nil
+	Idx   []int32   // sparse indices, ascending, or nil
+	Val   []float32 // sparse values parallel to Idx
+}
+
+// sparseEntryBytes is the wire cost of one sparse (index, value) pair.
+const sparseEntryBytes = 8
+
+// headerBytes approximates per-variable framing overhead (name, counts).
+const headerBytes = 24
+
+// Count returns the number of gradient values carried.
+func (s *Selection) Count() int {
+	if s.Dense != nil {
+		return len(s.Dense)
+	}
+	return len(s.Val)
+}
+
+// Bytes returns the wire size of the selection.
+func (s *Selection) Bytes() int {
+	if s.Dense != nil {
+		return headerBytes + 4*len(s.Dense)
+	}
+	return headerBytes + sparseEntryBytes*len(s.Val)
+}
+
+// AddTo accumulates scale·selection into dst, which must be the variable's
+// full backing slice.
+func (s *Selection) AddTo(dst []float32, scale float32) error {
+	if len(dst) != s.Total {
+		return fmt.Errorf("grad: %s: dst len %d != total %d", s.Var, len(dst), s.Total)
+	}
+	if s.Dense != nil {
+		for i, v := range s.Dense {
+			dst[i] += scale * v
+		}
+		return nil
+	}
+	for k, i := range s.Idx {
+		if int(i) >= len(dst) {
+			return fmt.Errorf("grad: %s: index %d out of range %d", s.Var, i, len(dst))
+		}
+		dst[i] += scale * s.Val[k]
+	}
+	return nil
+}
+
+// TotalBytes sums the wire size of a set of selections.
+func TotalBytes(sels []*Selection) int {
+	n := 0
+	for _, s := range sels {
+		n += s.Bytes()
+	}
+	return n
+}
+
+// TotalCount sums the number of gradient values across selections.
+func TotalCount(sels []*Selection) int {
+	n := 0
+	for _, s := range sels {
+		n += s.Count()
+	}
+	return n
+}
+
+// Selector chooses the partial gradients worker `self` sends to peer `to`.
+// Implementations may keep per-peer state (accumulators, rotation
+// counters); they are not safe for concurrent use.
+//
+// budgetBytes is the transmission budget computed by the transmission
+// speed assurance module; <= 0 means unlimited. Selectors that ignore the
+// budget (Full, Gaia, Ako) document that.
+type Selector interface {
+	Name() string
+	Select(to int, params []*nn.Param, budgetBytes int) []*Selection
+}
+
+// denseSelection copies a parameter's full gradient into a dense Selection.
+func denseSelection(p *nn.Param) *Selection {
+	d := make([]float32, p.G.Len())
+	copy(d, p.G.Data)
+	return &Selection{Var: p.Name, Total: p.G.Len(), Dense: d}
+}
+
+// Full sends every gradient value to every peer — the paper's Baseline
+// comparison system. It ignores the byte budget.
+type Full struct{}
+
+// Name implements Selector.
+func (Full) Name() string { return "full" }
+
+// Select implements Selector.
+func (Full) Select(_ int, params []*nn.Param, _ int) []*Selection {
+	out := make([]*Selection, 0, len(params))
+	for _, p := range params {
+		out = append(out, denseSelection(p))
+	}
+	return out
+}

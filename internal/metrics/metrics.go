@@ -1,0 +1,111 @@
+// Package metrics holds the evaluation-side data structures: accuracy
+// timelines sampled over virtual time, and the three performance metrics
+// of §5.1.3 (accuracy at a training-time budget, time until a target
+// accuracy, and converged accuracy), plus the per-worker accuracy
+// deviation of Figure 17.
+package metrics
+
+import (
+	"math"
+
+	"dlion/internal/stats"
+)
+
+// EvalPoint is one periodic evaluation of every worker's model.
+type EvalPoint struct {
+	T       float64   // virtual seconds since training started
+	PerWork []float64 // test accuracy per worker
+	Mean    float64
+	Std     float64 // stddev across workers (Fig 17)
+	Loss    float64 // mean test loss across workers
+}
+
+// Timeline is an ordered series of evaluations.
+type Timeline []EvalPoint
+
+// NewPoint summarizes per-worker accuracies into an EvalPoint.
+func NewPoint(t float64, accs []float64, meanLoss float64) EvalPoint {
+	s := stats.Summarize(accs)
+	return EvalPoint{T: t, PerWork: append([]float64(nil), accs...),
+		Mean: s.Mean, Std: s.Std, Loss: meanLoss}
+}
+
+// FinalMean returns the mean accuracy at the last evaluation (0 for an
+// empty timeline).
+func (tl Timeline) FinalMean() float64 {
+	if len(tl) == 0 {
+		return 0
+	}
+	return tl[len(tl)-1].Mean
+}
+
+// BestMean returns the highest mean accuracy reached at any point.
+func (tl Timeline) BestMean() float64 {
+	best := 0.0
+	for _, p := range tl {
+		if p.Mean > best {
+			best = p.Mean
+		}
+	}
+	return best
+}
+
+// TimeToAccuracy returns the first time the mean accuracy reached target,
+// and ok=false if it never did.
+func (tl Timeline) TimeToAccuracy(target float64) (float64, bool) {
+	for _, p := range tl {
+		if p.Mean >= target {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// MeanAt returns the mean accuracy at the last evaluation not after t
+// (0 if none).
+func (tl Timeline) MeanAt(t float64) float64 {
+	acc := 0.0
+	for _, p := range tl {
+		if p.T > t {
+			break
+		}
+		acc = p.Mean
+	}
+	return acc
+}
+
+// FinalDeviation returns the across-worker accuracy standard deviation at
+// the last evaluation.
+func (tl Timeline) FinalDeviation() float64 {
+	if len(tl) == 0 {
+		return 0
+	}
+	return tl[len(tl)-1].Std
+}
+
+// MaxDeviation returns the largest across-worker deviation observed after
+// the warm-up half of the timeline (early points are noisy for every
+// system and would swamp the comparison).
+func (tl Timeline) MaxDeviation() float64 {
+	max := 0.0
+	for i, p := range tl {
+		if i < len(tl)/2 {
+			continue
+		}
+		if p.Std > max {
+			max = p.Std
+		}
+	}
+	return max
+}
+
+// Converged reports whether the mean accuracy has plateaued: the
+// improvement over the trailing `window` evaluations is below eps.
+func (tl Timeline) Converged(window int, eps float64) bool {
+	if len(tl) < window+1 {
+		return false
+	}
+	last := tl[len(tl)-1].Mean
+	prev := tl[len(tl)-1-window].Mean
+	return math.Abs(last-prev) < eps
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func tl(points ...EvalPoint) Timeline { return Timeline(points) }
+
+func TestNewPoint(t *testing.T) {
+	p := NewPoint(10, []float64{0.5, 0.7}, 1.2)
+	if p.T != 10 || math.Abs(p.Mean-0.6) > 1e-9 {
+		t.Fatalf("point %+v", p)
+	}
+	if p.Std == 0 {
+		t.Fatal("std should be nonzero")
+	}
+	if p.Loss != 1.2 {
+		t.Fatalf("loss %v", p.Loss)
+	}
+	// input must be copied
+	in := []float64{0.1}
+	p2 := NewPoint(0, in, 0)
+	in[0] = 9
+	if p2.PerWork[0] != 0.1 {
+		t.Fatal("NewPoint must copy accuracies")
+	}
+}
+
+func TestFinalAndBestMean(t *testing.T) {
+	empty := tl()
+	if empty.FinalMean() != 0 || empty.BestMean() != 0 {
+		t.Fatal("empty timeline")
+	}
+	line := tl(
+		NewPoint(0, []float64{0.1}, 0),
+		NewPoint(10, []float64{0.8}, 0),
+		NewPoint(20, []float64{0.6}, 0),
+	)
+	if line.FinalMean() != 0.6 {
+		t.Fatalf("final %v", line.FinalMean())
+	}
+	if line.BestMean() != 0.8 {
+		t.Fatalf("best %v", line.BestMean())
+	}
+}
+
+func TestTimeToAccuracy(t *testing.T) {
+	line := tl(
+		NewPoint(0, []float64{0.1}, 0),
+		NewPoint(10, []float64{0.5}, 0),
+		NewPoint(20, []float64{0.9}, 0),
+	)
+	if tt, ok := line.TimeToAccuracy(0.5); !ok || tt != 10 {
+		t.Fatalf("tta(0.5) = %v, %v", tt, ok)
+	}
+	if tt, ok := line.TimeToAccuracy(0.05); !ok || tt != 0 {
+		t.Fatalf("tta(0.05) = %v, %v", tt, ok)
+	}
+	if _, ok := line.TimeToAccuracy(0.95); ok {
+		t.Fatal("unreached target must report !ok")
+	}
+}
+
+func TestMeanAt(t *testing.T) {
+	line := tl(
+		NewPoint(0, []float64{0.1}, 0),
+		NewPoint(10, []float64{0.5}, 0),
+	)
+	if got := line.MeanAt(5); got != 0.1 {
+		t.Fatalf("MeanAt(5) = %v", got)
+	}
+	if got := line.MeanAt(100); got != 0.5 {
+		t.Fatalf("MeanAt(100) = %v", got)
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	line := tl(
+		NewPoint(0, []float64{0.5, 0.5}, 0),
+		NewPoint(10, []float64{0.2, 0.8}, 0),
+		NewPoint(20, []float64{0.4, 0.6}, 0),
+		NewPoint(30, []float64{0.5, 0.5}, 0),
+	)
+	if line.FinalDeviation() != 0 {
+		t.Fatalf("final dev %v", line.FinalDeviation())
+	}
+	// MaxDeviation skips the first half (points 0,1); max of points 2,3
+	want := NewPoint(20, []float64{0.4, 0.6}, 0).Std
+	if math.Abs(line.MaxDeviation()-want) > 1e-12 {
+		t.Fatalf("max dev %v, want %v", line.MaxDeviation(), want)
+	}
+}
+
+func TestConverged(t *testing.T) {
+	line := tl(
+		NewPoint(0, []float64{0.1}, 0),
+		NewPoint(10, []float64{0.5}, 0),
+		NewPoint(20, []float64{0.70}, 0),
+		NewPoint(30, []float64{0.705}, 0),
+		NewPoint(40, []float64{0.707}, 0),
+	)
+	if !line.Converged(2, 0.02) {
+		t.Fatal("should be converged over trailing window")
+	}
+	if line.Converged(3, 0.02) {
+		t.Fatal("wider window includes the climb")
+	}
+	if tl(NewPoint(0, []float64{1}, 0)).Converged(3, 0.1) {
+		t.Fatal("short timeline cannot be converged")
+	}
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"testing"
+
+	"dlion/internal/stats"
+	"dlion/internal/tensor"
+)
+
+func benchBatch(b *testing.B, batch int) (*tensor.Tensor, []int) {
+	b.Helper()
+	rng := stats.NewRNG(1)
+	x := tensor.New(batch, 1, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	y := make([]int, batch)
+	for i := range y {
+		y[i] = rng.Intn(10)
+	}
+	return x, y
+}
+
+func BenchmarkCipherForward32(b *testing.B) {
+	m := CipherSpec(1, 16, 16, 10, 1).Build()
+	x, _ := benchBatch(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkCipherTrainStep32(b *testing.B) {
+	m := CipherSpec(1, 16, 16, 10, 1).Build()
+	x, y := benchBatch(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainStep(x, y)
+	}
+}
+
+func BenchmarkMobileNetLiteTrainStep16(b *testing.B) {
+	m := MobileNetLiteSpec(3, 16, 16, 100, 1).Build()
+	rng := stats.NewRNG(2)
+	x := tensor.New(16, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	y := make([]int, 16)
+	for i := range y {
+		y[i] = rng.Intn(100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainStep(x, y)
+	}
+}
+
+func BenchmarkApplySGD(b *testing.B) {
+	m := CipherSpec(1, 16, 16, 10, 1).Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ApplySGD(0.001)
+	}
+}
+
+func BenchmarkMergeWeights(b *testing.B) {
+	m := CipherSpec(1, 16, 16, 10, 1).Build()
+	remote := m.Weights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MergeWeights(remote, 0.75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

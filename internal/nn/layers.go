@@ -1,0 +1,453 @@
+package nn
+
+import (
+	"dlion/internal/stats"
+	"dlion/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = x·Wᵀ + b for x (batch, in),
+// W (out, in), b (out).
+type Dense struct {
+	name    string
+	In, Out int
+	w, b    *Param
+	x       *tensor.Tensor // cached input
+}
+
+// NewDense builds a Dense layer with He-initialized weights.
+func NewDense(name string, in, out int, rng *stats.RNG) *Dense {
+	d := &Dense{name: name, In: in, Out: out,
+		w: newParam(name+"/W", out, in),
+		b: newParam(name+"/b", out),
+	}
+	d.w.initHe(rng, in)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.In {
+		panic(shapeErr(d.name, []int{-1, d.In}, x.Shape))
+	}
+	d.x = x
+	batch := x.Shape[0]
+	y := tensor.New(batch, d.Out)
+	tensor.MatMulTransB(y, x, d.w.W)
+	for i := 0; i < batch; i++ {
+		row := y.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += d.b.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	batch := d.x.Shape[0]
+	// dW += doutᵀ·x ; shapes: dout (batch,out), x (batch,in), dW (out,in)
+	dw := tensor.New(d.Out, d.In)
+	tensor.MatMulTransA(dw, dout, d.x)
+	d.w.G.Add(dw)
+	for i := 0; i < batch; i++ {
+		row := dout.Data[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			d.b.G.Data[j] += v
+		}
+	}
+	dx := tensor.New(batch, d.In)
+	tensor.MatMul(dx, dout, d.w.W)
+	return dx
+}
+
+// Conv2D is a standard cross-correlation layer over NCHW input, implemented
+// as im2col + matmul. Output channels = Filters, kernel KxK, given stride
+// and zero-padding.
+type Conv2D struct {
+	name                string
+	InCh, Filters       int
+	K, Stride, Pad      int
+	w, b                *Param
+	x                   *tensor.Tensor
+	cols                *tensor.Tensor
+	inH, inW, outH, out int // cached geometry; out = outW
+}
+
+// NewConv2D builds a Conv2D layer with He-initialized kernels.
+func NewConv2D(name string, inCh, filters, k, stride, pad int, rng *stats.RNG) *Conv2D {
+	c := &Conv2D{name: name, InCh: inCh, Filters: filters, K: k, Stride: stride, Pad: pad,
+		w: newParam(name+"/W", filters, inCh*k*k),
+		b: newParam(name+"/b", filters),
+	}
+	c.w.initHe(rng, inCh*k*k)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != c.InCh {
+		panic(shapeErr(c.name, []int{-1, c.InCh, -1, -1}, x.Shape))
+	}
+	batch, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	c.x, c.inH, c.inW = x, h, w
+	c.outH = (h+2*c.Pad-c.K)/c.Stride + 1
+	c.out = (w+2*c.Pad-c.K)/c.Stride + 1
+	c.cols = tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad) // (batch*oh*ow, inCh*K*K)
+	// y_cols (batch*oh*ow, filters) = cols · Wᵀ
+	yc := tensor.New(batch*c.outH*c.out, c.Filters)
+	tensor.MatMulTransB(yc, c.cols, c.w.W)
+	// rearrange to (batch, filters, oh, ow) and add bias
+	y := tensor.New(batch, c.Filters, c.outH, c.out)
+	plane := c.outH * c.out
+	for n := 0; n < batch; n++ {
+		for p := 0; p < plane; p++ {
+			src := yc.Data[(n*plane+p)*c.Filters:][:c.Filters]
+			for f, v := range src {
+				y.Data[(n*c.Filters+f)*plane+p] = v + c.b.W.Data[f]
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	batch := c.x.Shape[0]
+	plane := c.outH * c.out
+	// Rearrange dout (batch, filters, oh, ow) into (batch*oh*ow, filters).
+	dyc := tensor.New(batch*plane, c.Filters)
+	for n := 0; n < batch; n++ {
+		for f := 0; f < c.Filters; f++ {
+			src := dout.Data[(n*c.Filters+f)*plane:][:plane]
+			for p, v := range src {
+				dyc.Data[(n*plane+p)*c.Filters+f] = v
+			}
+		}
+	}
+	// dW (filters, inCh*K*K) += dycᵀ·cols ; db += column sums of dyc
+	dw := tensor.New(c.Filters, c.InCh*c.K*c.K)
+	tensor.MatMulTransA(dw, dyc, c.cols)
+	c.w.G.Add(dw)
+	for r := 0; r < batch*plane; r++ {
+		row := dyc.Data[r*c.Filters:][:c.Filters]
+		for f, v := range row {
+			c.b.G.Data[f] += v
+		}
+	}
+	// dcols = dyc · W ; then scatter back to input shape.
+	dcols := tensor.New(batch*plane, c.InCh*c.K*c.K)
+	tensor.MatMul(dcols, dyc, c.w.W)
+	return tensor.Col2Im(dcols, batch, c.InCh, c.inH, c.inW, c.K, c.K, c.Stride, c.Pad)
+}
+
+// DepthwiseConv2D convolves each input channel with its own KxK kernel
+// (channel multiplier 1) — the core of MobileNet's separable convolutions.
+type DepthwiseConv2D struct {
+	name           string
+	Ch             int
+	K, Stride, Pad int
+	w, b           *Param
+	x              *tensor.Tensor
+	outH, outW     int
+}
+
+// NewDepthwiseConv2D builds a depthwise convolution layer.
+func NewDepthwiseConv2D(name string, ch, k, stride, pad int, rng *stats.RNG) *DepthwiseConv2D {
+	d := &DepthwiseConv2D{name: name, Ch: ch, K: k, Stride: stride, Pad: pad,
+		w: newParam(name+"/W", ch, k, k),
+		b: newParam(name+"/b", ch),
+	}
+	d.w.initHe(rng, k*k)
+	return d
+}
+
+// Name implements Layer.
+func (d *DepthwiseConv2D) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *DepthwiseConv2D) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward implements Layer.
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != d.Ch {
+		panic(shapeErr(d.name, []int{-1, d.Ch, -1, -1}, x.Shape))
+	}
+	batch, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	d.x = x
+	d.outH = (h+2*d.Pad-d.K)/d.Stride + 1
+	d.outW = (w+2*d.Pad-d.K)/d.Stride + 1
+	y := tensor.New(batch, d.Ch, d.outH, d.outW)
+	for n := 0; n < batch; n++ {
+		for ch := 0; ch < d.Ch; ch++ {
+			in := x.Data[(n*d.Ch+ch)*h*w:][:h*w]
+			out := y.Data[(n*d.Ch+ch)*d.outH*d.outW:][:d.outH*d.outW]
+			ker := d.w.W.Data[ch*d.K*d.K:][:d.K*d.K]
+			bias := d.b.W.Data[ch]
+			for oy := 0; oy < d.outH; oy++ {
+				for ox := 0; ox < d.outW; ox++ {
+					var s float32
+					for ky := 0; ky < d.K; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < d.K; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += in[iy*w+ix] * ker[ky*d.K+kx]
+						}
+					}
+					out[oy*d.outW+ox] = s + bias
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	batch, h, w := d.x.Shape[0], d.x.Shape[2], d.x.Shape[3]
+	dx := tensor.New(batch, d.Ch, h, w)
+	for n := 0; n < batch; n++ {
+		for ch := 0; ch < d.Ch; ch++ {
+			in := d.x.Data[(n*d.Ch+ch)*h*w:][:h*w]
+			dxp := dx.Data[(n*d.Ch+ch)*h*w:][:h*w]
+			dop := dout.Data[(n*d.Ch+ch)*d.outH*d.outW:][:d.outH*d.outW]
+			ker := d.w.W.Data[ch*d.K*d.K:][:d.K*d.K]
+			dker := d.w.G.Data[ch*d.K*d.K:][:d.K*d.K]
+			var dbias float32
+			for oy := 0; oy < d.outH; oy++ {
+				for ox := 0; ox < d.outW; ox++ {
+					g := dop[oy*d.outW+ox]
+					if g == 0 {
+						continue
+					}
+					dbias += g
+					for ky := 0; ky < d.K; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < d.K; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dker[ky*d.K+kx] += g * in[iy*w+ix]
+							dxp[iy*w+ix] += g * ker[ky*d.K+kx]
+						}
+					}
+				}
+			}
+			// bias gradient may be zero-skipped above only when g==0, which
+			// contributes nothing anyway.
+			d.b.G.Data[ch] += dbias
+		}
+	}
+	return dx
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape...)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// MaxPool2 is 2x2 max pooling with stride 2 over NCHW input. Odd trailing
+// rows/columns are dropped (floor semantics).
+type MaxPool2 struct {
+	name   string
+	argmax []int
+	insh   []int
+}
+
+// NewMaxPool2 builds a 2x2/stride-2 max-pooling layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return m.name }
+
+// Params implements Layer.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(shapeErr(m.name, "rank-4", x.Shape))
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/2, w/2
+	m.insh = append(m.insh[:0], x.Shape...)
+	y := tensor.New(b, c, oh, ow)
+	if cap(m.argmax) < y.Len() {
+		m.argmax = make([]int, y.Len())
+	}
+	m.argmax = m.argmax[:y.Len()]
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
+			in := x.Data[(n*c+ch)*h*w:][:h*w]
+			outBase := (n*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy, ix := oy*2, ox*2
+					best, bi := in[iy*w+ix], iy*w+ix
+					for _, off := range [3]int{iy*w + ix + 1, (iy+1)*w + ix, (iy+1)*w + ix + 1} {
+						if in[off] > best {
+							best, bi = in[off], off
+						}
+					}
+					y.Data[outBase+oy*ow+ox] = best
+					m.argmax[outBase+oy*ow+ox] = (n*c+ch)*h*w + bi
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool2) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.insh...)
+	for i, v := range dout.Data {
+		dx.Data[m.argmax[i]] += v
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel plane to a single value, producing
+// (batch, ch) output from (batch, ch, h, w) input.
+type GlobalAvgPool struct {
+	name string
+	insh []int
+}
+
+// NewGlobalAvgPool builds a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.name }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(shapeErr(g.name, "rank-4", x.Shape))
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	g.insh = append(g.insh[:0], x.Shape...)
+	y := tensor.New(b, c)
+	inv := 1 / float32(h*w)
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(n*c+ch)*h*w:][:h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			y.Data[n*c+ch] = s * inv
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b, c, h, w := g.insh[0], g.insh[1], g.insh[2], g.insh[3]
+	dx := tensor.New(g.insh...)
+	inv := 1 / float32(h*w)
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
+			gv := dout.Data[n*c+ch] * inv
+			plane := dx.Data[(n*c+ch)*h*w:][:h*w]
+			for i := range plane {
+				plane[i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes (batch, ...) activations to (batch, rest).
+type Flatten struct {
+	name string
+	insh []int
+}
+
+// NewFlatten builds a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.insh = append(f.insh[:0], x.Shape...)
+	rest := 1
+	for _, d := range x.Shape[1:] {
+		rest *= d
+	}
+	return x.Reshape(x.Shape[0], rest)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.insh...)
+}

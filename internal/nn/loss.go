@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"math"
+
+	"dlion/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (batch, classes) against integer labels, the classification accuracy on
+// the batch, and the gradient dL/dlogits already divided by the batch size
+// (so downstream weight gradients are per-sample means, matching Eq. 6 of
+// the paper).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, acc float64, dlogits *tensor.Tensor) {
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	if batch != len(labels) {
+		panic("nn: label count does not match batch size")
+	}
+	dlogits = tensor.New(batch, classes)
+	correct := 0
+	var total float64
+	for i := 0; i < batch; i++ {
+		row := logits.Data[i*classes : (i+1)*classes]
+		// stable softmax
+		maxv := row[0]
+		argmax := 0
+		for j, v := range row {
+			if v > maxv {
+				maxv, argmax = v, j
+			}
+		}
+		var sum float64
+		probs := dlogits.Data[i*classes : (i+1)*classes]
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			probs[j] = float32(e)
+			sum += e
+		}
+		inv := 1 / sum
+		lbl := labels[i]
+		if lbl < 0 || lbl >= classes {
+			panic("nn: label out of range")
+		}
+		for j := range probs {
+			probs[j] = float32(float64(probs[j]) * inv)
+		}
+		p := float64(probs[lbl])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+		if argmax == lbl {
+			correct++
+		}
+		// gradient: (softmax - onehot) / batch
+		probs[lbl] -= 1
+		invB := float32(1.0 / float64(batch))
+		for j := range probs {
+			probs[j] *= invB
+		}
+	}
+	return total / float64(batch), float64(correct) / float64(batch), dlogits
+}

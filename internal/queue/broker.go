@@ -1,0 +1,237 @@
+// Package queue is the Redis substitute in this DLion reproduction. The
+// original prototype used Redis PUB/SUB for control signaling and Redis
+// lists for gradient/weight data queues (§4.2); this package provides the
+// same two primitives — fan-out publish/subscribe channels and blocking
+// FIFO lists — as an in-memory broker, plus a TCP server/client pair so
+// real-mode workers in separate processes can share one broker just as the
+// prototype's workers shared one Redis.
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("queue: broker closed")
+
+// Broker is an in-memory message broker with PUB/SUB channels and blocking
+// FIFO lists. All methods are safe for concurrent use.
+type Broker struct {
+	mu      sync.Mutex
+	closed  bool
+	nextSub int
+	subs    map[string]map[int]*Subscription
+	lists   map[string][][]byte
+	waiters map[string][]chan []byte
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		subs:    map[string]map[int]*Subscription{},
+		lists:   map[string][][]byte{},
+		waiters: map[string][]chan []byte{},
+	}
+}
+
+// Subscription is a live PUB/SUB subscription. Receive from C; call Cancel
+// when done. C is closed on Cancel and on broker Close.
+type Subscription struct {
+	C       <-chan []byte
+	c       chan []byte
+	id      int
+	channel string
+	b       *Broker
+	once    sync.Once
+}
+
+// Cancel removes the subscription and closes C.
+func (s *Subscription) Cancel() {
+	s.once.Do(func() {
+		s.b.mu.Lock()
+		if m := s.b.subs[s.channel]; m != nil {
+			delete(m, s.id)
+			if len(m) == 0 {
+				delete(s.b.subs, s.channel)
+			}
+		}
+		s.b.mu.Unlock()
+		close(s.c)
+	})
+}
+
+// Subscribe registers interest in a channel. buf is the subscriber's queue
+// depth; a full subscriber drops the oldest message (slow consumers never
+// block publishers, as with Redis client output buffers).
+func (b *Broker) Subscribe(channel string, buf int) (*Subscription, error) {
+	if buf < 1 {
+		buf = 64
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.nextSub++
+	s := &Subscription{c: make(chan []byte, buf), id: b.nextSub, channel: channel, b: b}
+	s.C = s.c
+	m := b.subs[channel]
+	if m == nil {
+		m = map[int]*Subscription{}
+		b.subs[channel] = m
+	}
+	m[s.id] = s
+	return s, nil
+}
+
+// Publish delivers payload to every current subscriber of channel and
+// returns how many received it (after drop-oldest handling).
+func (b *Broker) Publish(channel string, payload []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	n := 0
+	for _, s := range b.subs[channel] {
+		for {
+			select {
+			case s.c <- payload:
+				n++
+			default:
+				// full: drop oldest and retry once
+				select {
+				case <-s.c:
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+	return n, nil
+}
+
+// LPush appends payload to the list's tail. Combined with BRPop (which
+// takes from the head) the list is FIFO, matching the prototype's
+// LPUSH/BRPOP usage. If a consumer is blocked on the key, the payload is
+// handed to it directly.
+func (b *Broker) LPush(key string, payload []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if ws := b.waiters[key]; len(ws) > 0 {
+		w := ws[0]
+		b.waiters[key] = ws[1:]
+		w <- payload // waiter channel is buffered size 1
+		return nil
+	}
+	b.lists[key] = append(b.lists[key], payload)
+	return nil
+}
+
+// RPop removes and returns the head of the list, reporting ok=false when
+// the list is empty.
+func (b *Broker) RPop(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := b.lists[key]
+	if len(l) == 0 {
+		return nil, false
+	}
+	head := l[0]
+	if len(l) == 1 {
+		delete(b.lists, key)
+	} else {
+		b.lists[key] = l[1:]
+	}
+	return head, true
+}
+
+// BRPop blocks until an element is available on key or ctx is done.
+func (b *Broker) BRPop(ctx context.Context, key string) ([]byte, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if l := b.lists[key]; len(l) > 0 {
+		head := l[0]
+		if len(l) == 1 {
+			delete(b.lists, key)
+		} else {
+			b.lists[key] = l[1:]
+		}
+		b.mu.Unlock()
+		return head, nil
+	}
+	w := make(chan []byte, 1)
+	b.waiters[key] = append(b.waiters[key], w)
+	b.mu.Unlock()
+
+	select {
+	case p, ok := <-w:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return p, nil
+	case <-ctx.Done():
+		// remove ourselves; a concurrent LPush may already have handed us a
+		// payload, in which case prefer delivering it.
+		b.mu.Lock()
+		ws := b.waiters[key]
+		for i, c := range ws {
+			if c == w {
+				b.waiters[key] = append(ws[:i:i], ws[i+1:]...)
+				break
+			}
+		}
+		b.mu.Unlock()
+		select {
+		case p, ok := <-w:
+			if ok {
+				return p, nil
+			}
+			return nil, ErrClosed
+		default:
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Len returns the current length of a list.
+func (b *Broker) Len(key string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lists[key])
+}
+
+// Close shuts the broker down: all subscriptions are closed and blocked
+// BRPops return ErrClosed.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := b.subs
+	waiters := b.waiters
+	b.subs = map[string]map[int]*Subscription{}
+	b.waiters = map[string][]chan []byte{}
+	b.mu.Unlock()
+	for _, m := range subs {
+		for _, s := range m {
+			s.once.Do(func() { close(s.c) })
+		}
+	}
+	for _, ws := range waiters {
+		for _, w := range ws {
+			close(w)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package queue
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol: each request frame is
+//
+//	[1B cmd][2B keyLen][key][4B payloadLen][payload]
+//
+// cmdPublish and cmdLPush have no response. cmdBRPop carries an 8-byte
+// little-endian timeout in milliseconds as payload and receives a response
+// frame [1B status][4B len][payload] (status 0 = ok, 1 = timeout). After
+// cmdSubscribe the connection becomes push-only: the server streams
+// [4B len][payload] frames until either side closes, mirroring Redis's
+// dedicated-subscriber-connection model.
+const (
+	cmdPublish = 1
+	cmdLPush   = 2
+	cmdBRPop   = 3
+	cmdSub     = 4
+)
+
+const maxFrame = 64 << 20
+
+// Server exposes a Broker over TCP.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts a TCP server for b on addr (use "127.0.0.1:0" for an
+// ephemeral port) and returns once listening.
+func Serve(b *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{broker: b, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections. The broker itself is
+// left open (it may be shared).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cancel()
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		cmd, key, payload, err := readRequest(r)
+		if err != nil {
+			return
+		}
+		switch cmd {
+		case cmdPublish:
+			s.broker.Publish(key, payload)
+		case cmdLPush:
+			s.broker.LPush(key, payload)
+		case cmdBRPop:
+			if len(payload) != 8 {
+				return
+			}
+			timeout := time.Duration(binary.LittleEndian.Uint64(payload)) * time.Millisecond
+			ctx, cancel := contextWithOptionalTimeout(s.ctx, timeout)
+			data, err := s.broker.BRPop(ctx, key)
+			cancel()
+			status := byte(0)
+			if err != nil {
+				status, data = 1, nil
+			}
+			if err := writeResponse(w, status, data); err != nil {
+				return
+			}
+		case cmdSub:
+			s.servePush(conn, w, key)
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) servePush(conn net.Conn, w *bufio.Writer, channel string) {
+	sub, err := s.broker.Subscribe(channel, 256)
+	if err != nil {
+		return
+	}
+	defer sub.Cancel()
+	// Detect client disconnect by reading (the client sends nothing more).
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, conn)
+		close(done)
+	}()
+	for {
+		select {
+		case p, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+			if _, err := w.Write(hdr[:]); err != nil {
+				return
+			}
+			if _, err := w.Write(p); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// contextWithOptionalTimeout returns a child of parent bounded by d, or an
+// unbounded child when d <= 0 (BRPOP with timeout 0 blocks until the
+// server shuts down, like Redis blocks forever).
+func contextWithOptionalTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+func readRequest(r *bufio.Reader) (cmd byte, key string, payload []byte, err error) {
+	cmd, err = r.ReadByte()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	var klen uint16
+	if err = binary.Read(r, binary.LittleEndian, &klen); err != nil {
+		return 0, "", nil, err
+	}
+	if klen > 4096 {
+		return 0, "", nil, errors.New("queue: key too long")
+	}
+	kb := make([]byte, klen)
+	if _, err = io.ReadFull(r, kb); err != nil {
+		return 0, "", nil, err
+	}
+	var plen uint32
+	if err = binary.Read(r, binary.LittleEndian, &plen); err != nil {
+		return 0, "", nil, err
+	}
+	if plen > maxFrame {
+		return 0, "", nil, fmt.Errorf("queue: payload %d exceeds limit", plen)
+	}
+	payload = make([]byte, plen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, "", nil, err
+	}
+	return cmd, string(kb), payload, nil
+}
+
+func writeRequest(w *bufio.Writer, cmd byte, key string, payload []byte) error {
+	if err := w.WriteByte(cmd); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(key))); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(key); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func writeResponse(w *bufio.Writer, status byte, payload []byte) error {
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Client talks to a queue Server. One client multiplexes Publish, LPush
+// and BRPop over a single connection (calls are serialized); Subscribe
+// opens a dedicated connection, as the protocol requires.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	subMu   sync.Mutex
+	subs    []net.Conn
+	closed  bool
+	subWait sync.WaitGroup
+}
+
+// Dial connects to a queue server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{addr: addr, conn: conn,
+		r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Publish sends payload to all subscribers of channel.
+func (c *Client) Publish(channel string, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeRequest(c.w, cmdPublish, channel, payload)
+}
+
+// LPush appends payload to the named list.
+func (c *Client) LPush(key string, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeRequest(c.w, cmdLPush, key, payload)
+}
+
+// ErrTimeout is returned by BRPop when the server-side wait expires.
+var ErrTimeout = errors.New("queue: BRPOP timeout")
+
+// BRPop blocks until an element is available on key or timeout elapses
+// (timeout <= 0 waits forever).
+func (c *Client) BRPop(key string, timeout time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var tbuf [8]byte
+	ms := int64(0)
+	if timeout > 0 {
+		ms = int64(timeout / time.Millisecond)
+		if ms == 0 {
+			ms = 1
+		}
+	}
+	binary.LittleEndian.PutUint64(tbuf[:], uint64(ms))
+	if err := writeRequest(c.w, cmdBRPop, key, tbuf[:]); err != nil {
+		return nil, err
+	}
+	status, err := c.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var plen uint32
+	if err := binary.Read(c.r, binary.LittleEndian, &plen); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		return nil, ErrTimeout
+	}
+	return payload, nil
+}
+
+// Subscribe opens a dedicated connection subscribed to channel and returns
+// a receive channel that closes when the connection drops or the client is
+// closed.
+func (c *Client) Subscribe(channel string, buf int) (<-chan []byte, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(conn)
+	if err := writeRequest(w, cmdSub, channel, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.subMu.Lock()
+	if c.closed {
+		c.subMu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	c.subs = append(c.subs, conn)
+	c.subMu.Unlock()
+
+	if buf < 1 {
+		buf = 64
+	}
+	out := make(chan []byte, buf)
+	c.subWait.Add(1)
+	go func() {
+		defer c.subWait.Done()
+		defer close(out)
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		for {
+			var plen uint32
+			if err := binary.Read(r, binary.LittleEndian, &plen); err != nil {
+				return
+			}
+			if plen > maxFrame {
+				return
+			}
+			payload := make([]byte, plen)
+			if _, err := io.ReadFull(r, payload); err != nil {
+				return
+			}
+			out <- payload
+		}
+	}()
+	return out, nil
+}
+
+// Close tears down the client and all of its subscription connections. It
+// deliberately does NOT take the request mutex before closing the main
+// connection: a BRPop blocked waiting for a response holds that mutex, and
+// closing the connection is what unblocks it.
+func (c *Client) Close() error {
+	c.subMu.Lock()
+	c.closed = true
+	for _, s := range c.subs {
+		s.Close()
+	}
+	c.subs = nil
+	c.subMu.Unlock()
+	err := c.conn.Close()
+	c.subWait.Wait()
+	return err
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package realtime
+
+// raceEnabled reports whether the race detector is active; tests scale
+// their real-time budgets accordingly.
+const raceEnabled = false

@@ -1,0 +1,186 @@
+// Package realtime runs DLion workers over wall-clock time and a real
+// message transport (the Redis-substitute broker from internal/queue),
+// demonstrating that the worker logic in internal/core is not bound to the
+// simulator. Each node hosts one worker on a single-threaded event loop:
+// timers and incoming messages are serialized onto the loop, which is the
+// concurrency contract core.Worker requires.
+package realtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dlion/internal/core"
+	"dlion/internal/data"
+	"dlion/internal/nn"
+	"dlion/internal/wire"
+)
+
+// Transport moves encoded messages between workers. Implementations:
+// BrokerTransport (in-process broker) and ClientTransport (TCP broker).
+type Transport interface {
+	// Send delivers payload to the worker with the given id.
+	Send(to int, payload []byte) error
+	// Recv blocks until a payload addressed to this node arrives. It
+	// returns an error when the transport closes.
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// DataKey returns the broker list key carrying worker id's inbound data.
+func DataKey(id int) string { return fmt.Sprintf("dlion:data:%d", id) }
+
+// Config assembles one real-mode node.
+type Config struct {
+	ID     int
+	N      int
+	System core.Config
+	Spec   nn.Spec
+	Shard  *data.Shard
+
+	Transport Transport
+
+	// Bandwidth reports the assumed available Mbps towards a peer (the
+	// network monitor's answer in real mode, where we cannot introspect the
+	// kernel). Nil defaults to 100 Mbps everywhere.
+	Bandwidth func(to int) float64
+}
+
+// Node hosts one worker over wall time.
+type Node struct {
+	cfg    Config
+	worker *core.Worker
+	loop   chan func()
+	start  time.Time
+
+	evStart  time.Time // when the currently-executing event began
+	profiled [][2][]float64
+}
+
+// realEnv adapts the Node to core.Env.
+type realEnv struct{ n *Node }
+
+func (e realEnv) Now() float64 { return time.Since(e.n.start).Seconds() }
+
+func (e realEnv) After(d float64, fn func()) {
+	if d <= 0 {
+		// run on the next loop turn, preserving the single-thread contract
+		go func() { e.n.loop <- fn }()
+		return
+	}
+	time.AfterFunc(time.Duration(d*float64(time.Second)), func() {
+		e.n.loop <- fn
+	})
+}
+
+func (e realEnv) NumWorkers() int    { return e.n.cfg.N }
+func (e realEnv) SendScale() float64 { return 1 }
+
+func (e realEnv) Bandwidth(_, to int) float64 {
+	if e.n.cfg.Bandwidth != nil {
+		return e.n.cfg.Bandwidth(to)
+	}
+	return 100
+}
+
+// IterSeconds reports how long the current event has been executing — by
+// the time the worker asks (right after its TrainStep), that is the real
+// compute duration of the iteration.
+func (e realEnv) IterSeconds(_, _ int) float64 {
+	d := time.Since(e.n.evStart).Seconds()
+	if d < 1e-3 {
+		d = 1e-3
+	}
+	return d
+}
+
+// ProfileCompute measures actual TrainStep wall time at each batch size on
+// a scratch replica, so profiling never perturbs the live model.
+func (e realEnv) ProfileCompute(_ int, batches []int) (x, y []float64) {
+	scratch := e.n.cfg.Spec.Build()
+	for _, b := range batches {
+		xb, yb := e.n.cfg.Shard.NextBatch(b)
+		t0 := time.Now()
+		scratch.TrainStep(xb, yb)
+		x = append(x, float64(b))
+		y = append(y, time.Since(t0).Seconds())
+	}
+	return x, y
+}
+
+func (e realEnv) Send(_, to int, m *wire.Message) {
+	payload := wire.Encode(m)
+	go func() {
+		if err := e.n.cfg.Transport.Send(to, payload); err != nil {
+			// transport closed: drop, like a partitioned link
+			return
+		}
+	}()
+}
+
+// NewNode builds a node and its worker. The model replica is built from
+// cfg.Spec (same spec + seed on all nodes gives identical initial models).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("realtime: nil transport")
+	}
+	n := &Node{cfg: cfg, loop: make(chan func(), 1024)}
+	w, err := core.New(cfg.ID, cfg.System, cfg.Spec.Build(), cfg.Shard, realEnv{n})
+	if err != nil {
+		return nil, err
+	}
+	n.worker = w
+	return n, nil
+}
+
+// Worker exposes the hosted worker (for metrics inspection after Run).
+func (n *Node) Worker() *core.Worker { return n.worker }
+
+// Run trains until ctx is done. It owns the event loop: the worker's
+// Start, every timer, and every incoming message execute on this
+// goroutine.
+func (n *Node) Run(ctx context.Context) error {
+	n.start = time.Now()
+
+	// receive pump: decode and forward into the loop
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			payload, err := n.cfg.Transport.Recv()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			m, err := wire.Decode(payload)
+			if err != nil {
+				continue // corrupt frame: drop
+			}
+			select {
+			case n.loop <- func() { n.worker.HandleMessage(m) }:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	n.runEvent(func() { n.worker.Start() })
+	for {
+		select {
+		case fn := <-n.loop:
+			n.runEvent(fn)
+		case err := <-recvErr:
+			if ctx.Err() != nil {
+				return nil // shutdown race: context canceled first
+			}
+			return fmt.Errorf("realtime: transport: %w", err)
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+func (n *Node) runEvent(fn func()) {
+	n.evStart = time.Now()
+	fn()
+}

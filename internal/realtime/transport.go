@@ -1,0 +1,75 @@
+package realtime
+
+import (
+	"context"
+	"errors"
+
+	"dlion/internal/queue"
+)
+
+// BrokerTransport connects a node to an in-process broker: sends LPush to
+// the destination's data list; Recv blocks on this node's own list.
+// It mirrors the prototype's Redis data-queue usage (§4.2).
+type BrokerTransport struct {
+	b      *queue.Broker
+	id     int
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewBrokerTransport builds a transport for worker id over broker b.
+func NewBrokerTransport(b *queue.Broker, id int) *BrokerTransport {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &BrokerTransport{b: b, id: id, ctx: ctx, cancel: cancel}
+}
+
+// Send implements Transport.
+func (t *BrokerTransport) Send(to int, payload []byte) error {
+	return t.b.LPush(DataKey(to), payload)
+}
+
+// Recv implements Transport.
+func (t *BrokerTransport) Recv() ([]byte, error) {
+	return t.b.BRPop(t.ctx, DataKey(t.id))
+}
+
+// Close implements Transport.
+func (t *BrokerTransport) Close() error {
+	t.cancel()
+	return nil
+}
+
+// ClientTransport connects a node to a TCP broker (cmd/dlion-broker), for
+// workers running as separate processes.
+type ClientTransport struct {
+	c  *queue.Client
+	id int
+}
+
+// NewClientTransport dials the broker at addr for worker id.
+func NewClientTransport(addr string, id int) (*ClientTransport, error) {
+	c, err := queue.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientTransport{c: c, id: id}, nil
+}
+
+// Send implements Transport.
+func (t *ClientTransport) Send(to int, payload []byte) error {
+	return t.c.LPush(DataKey(to), payload)
+}
+
+// Recv implements Transport.
+func (t *ClientTransport) Recv() ([]byte, error) {
+	for {
+		p, err := t.c.BRPop(DataKey(t.id), 0)
+		if errors.Is(err, queue.ErrTimeout) {
+			continue
+		}
+		return p, err
+	}
+}
+
+// Close implements Transport.
+func (t *ClientTransport) Close() error { return t.c.Close() }

@@ -1,0 +1,117 @@
+// Package simclock is a discrete-event simulation engine with a virtual
+// clock. It replaces the wall-clock of the paper's physical clusters: a
+// 1500-virtual-second DLion experiment executes in however long the actual
+// gradient math takes, while compute and network durations are charged to
+// virtual time by the cost models in simcompute and simnet.
+//
+// Events fire in (time, insertion-order) order, so simulations are fully
+// deterministic.
+package simclock
+
+import "container/heap"
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all event callbacks run on the caller's goroutine inside
+// Run/Step.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// New returns an engine with the clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) clamps to Now: the event runs next, preserving causality.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d clamps to 0.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Every schedules fn at now+period, now+2·period, … until either stop
+// returns true (checked before each firing) or the engine runs past its
+// horizon. period must be > 0.
+func (e *Engine) Every(period float64, fn func(), stop func() bool) {
+	if period <= 0 {
+		panic("simclock: Every with period <= 0")
+	}
+	var tick func()
+	tick = func() {
+		if stop != nil && stop() {
+			return
+		}
+		fn()
+		e.After(period, tick)
+	}
+	e.After(period, tick)
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is later
+// than horizon. The clock finishes at min(horizon, last-event time); events
+// beyond the horizon remain queued.
+func (e *Engine) Run(horizon float64) {
+	for len(e.events) > 0 && e.events[0].at <= horizon {
+		e.Step()
+	}
+	if e.now < horizon && len(e.events) > 0 {
+		// clock parks at the horizon when stopped mid-queue
+		e.now = horizon
+	}
+}
+
+// RunAll executes every queued event (including ones scheduled by other
+// events) until the queue drains. Use only with workloads that are known to
+// terminate.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,164 @@
+package simclock
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", e.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := New()
+	var when float64
+	e.At(10, func() {
+		e.After(5, func() { when = e.Now() })
+	})
+	e.RunAll()
+	if when != 15 {
+		t.Fatalf("After fired at %v, want 15", when)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(10, func() {
+		e.At(3, func() { order = append(order, "past") })
+		e.At(11, func() { order = append(order, "future") })
+	})
+	e.RunAll()
+	if len(order) != 2 || order[0] != "past" || order[1] != "future" {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != 11 {
+		t.Fatalf("clock %v", e.Now())
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := New()
+	ran := false
+	e.After(-5, func() { ran = true })
+	e.RunAll()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Run(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock should park at horizon, got %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	e.Run(20)
+	if len(fired) != 4 || e.Now() != 10 {
+		t.Fatalf("resume failed: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New()
+	count := 0
+	e.Every(2, func() { count++ }, func() bool { return count >= 4 })
+	e.Run(100)
+	if count != 4 {
+		t.Fatalf("count %d", count)
+	}
+	// the stop-check event at t=10 fires last; with an empty queue the
+	// clock stays there rather than parking at the horizon
+	if e.Now() != 10 {
+		t.Fatalf("now %v", e.Now())
+	}
+}
+
+func TestEveryHorizonBounded(t *testing.T) {
+	e := New()
+	count := 0
+	e.Every(1, func() { count++ }, nil)
+	e.Run(10.5)
+	if count != 10 {
+		t.Fatalf("count %d, want 10", count)
+	}
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New().Every(0, func() {}, nil)
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine must be false")
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		e := New()
+		last := -1.0
+		ok := true
+		for _, at := range times {
+			if at < 0 {
+				at = -at
+			}
+			e.At(at, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package simcompute
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlion/internal/stats"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant(24)
+	for _, tt := range []float64{0, 1, 1e9} {
+		if s.At(tt) != 24 {
+			t.Fatalf("At(%v) = %v", tt, s.At(tt))
+		}
+	}
+}
+
+func TestStepsSchedule(t *testing.T) {
+	s := Steps(0, 24, 100, 12, 300, 4)
+	cases := []struct{ t, want float64 }{
+		{-5, 24}, {0, 24}, {99.9, 24}, {100, 12}, {299, 12}, {300, 4}, {1e6, 4},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStepsPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { Steps() },
+		"odd":      func() { Steps(0, 1, 2) },
+		"unsorted": func() { Steps(0, 1, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNextChange(t *testing.T) {
+	s := Steps(0, 1, 50, 2, 80, 3)
+	if nt, ok := s.NextChange(0); !ok || nt != 50 {
+		t.Fatalf("NextChange(0) = %v,%v", nt, ok)
+	}
+	if nt, ok := s.NextChange(50); !ok || nt != 80 {
+		t.Fatalf("NextChange(50) = %v,%v", nt, ok)
+	}
+	if _, ok := s.NextChange(80); ok {
+		t.Fatal("no change after last step")
+	}
+}
+
+func TestIterTimeScalesWithCapacity(t *testing.T) {
+	cost := CostModel{Overhead: 0.01, PerSample: 0.002}
+	fast := New(Constant(24), cost, 1)
+	slow := New(Constant(4), cost, 2)
+	tf, ts := fast.IterTime(96, 0), slow.IterTime(96, 0)
+	if ts <= tf {
+		t.Fatalf("slow worker should be slower: %v vs %v", ts, tf)
+	}
+	// ratio of the variable part should be exactly 6x
+	wantRatio := 6.0
+	gotRatio := (ts - cost.Overhead) / (tf - cost.Overhead)
+	if math.Abs(gotRatio-wantRatio) > 1e-9 {
+		t.Fatalf("ratio %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestIterTimeLinearInBatch(t *testing.T) {
+	c := New(Constant(10), CostModel{Overhead: 0.05, PerSample: 0.001}, 1)
+	t32 := c.IterTime(32, 0)
+	t64 := c.IterTime(64, 0)
+	if math.Abs((t64-0.05)-2*(t32-0.05)) > 1e-12 {
+		t.Fatalf("not linear: %v %v", t32, t64)
+	}
+}
+
+func TestIterTimeZeroCapacity(t *testing.T) {
+	c := New(Constant(0), CostModel{PerSample: 0.001}, 1)
+	got := c.IterTime(10, 0)
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Fatalf("zero capacity must not blow up: %v", got)
+	}
+	if got <= 0 {
+		t.Fatalf("time must be positive: %v", got)
+	}
+}
+
+func TestIterTimeBadBatchPanics(t *testing.T) {
+	c := New(Constant(1), CostModel{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	c.IterTime(0, 0)
+}
+
+func TestIterTimeDynamicSchedule(t *testing.T) {
+	c := New(Steps(0, 24, 100, 6), CostModel{PerSample: 0.001}, 1)
+	early := c.IterTime(240, 50)
+	late := c.IterTime(240, 150)
+	if math.Abs(late/early-4) > 1e-9 {
+		t.Fatalf("capacity drop not reflected: %v vs %v", early, late)
+	}
+}
+
+func TestJitterPreservesTrend(t *testing.T) {
+	c := New(Constant(12), CostModel{Overhead: 0.02, PerSample: 0.001, Jitter: 0.05}, 3)
+	x, y := c.Profile([]int{16, 32, 64, 128, 256, 512}, 0)
+	fit, err := stats.LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlope := 0.001 / 12
+	if math.Abs(fit.Slope-wantSlope)/wantSlope > 0.3 {
+		t.Fatalf("regression slope %v too far from %v", fit.Slope, wantSlope)
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	c := New(Constant(2), CostModel{PerSample: 0.01}, 1)
+	x, y := c.Profile([]int{8, 16}, 0)
+	if len(x) != 2 || len(y) != 2 || x[1] != 16 {
+		t.Fatalf("profile %v %v", x, y)
+	}
+}
+
+func TestIterTimePositiveProperty(t *testing.T) {
+	f := func(seed uint64, batch uint8) bool {
+		c := New(Constant(float64(1+seed%32)), CostModel{Overhead: 0.01, PerSample: 0.001, Jitter: 0.2}, seed)
+		return c.IterTime(int(batch)+1, 0) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

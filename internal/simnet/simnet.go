@@ -1,0 +1,142 @@
+// Package simnet models the network connecting DLion workers: per-link
+// bandwidth schedules (substituting for the paper's `tc`-based emulation
+// and its AWS WAN measurements), transfer-time accounting, and the network
+// resource monitor workers query before generating partial gradients.
+package simnet
+
+import (
+	"fmt"
+
+	"dlion/internal/simcompute"
+)
+
+// Mbps converts megabits/second to bytes/second.
+const mbps = 1e6 / 8
+
+// Link is a directed connection between two workers with a time-varying
+// bandwidth (Mbps) and a fixed propagation delay (seconds).
+type Link struct {
+	Bandwidth simcompute.Schedule // Mbps over virtual time
+	RTT       float64             // round-trip time in seconds
+}
+
+// Network is a full mesh of directed links between n workers.
+type Network struct {
+	n     int
+	links [][]*Link
+}
+
+// New builds a network of n workers with no links; use SetLink or one of
+// the topology helpers to populate it. Self-links are implicit and free.
+func New(n int) *Network {
+	if n < 1 {
+		panic("simnet: network needs at least one worker")
+	}
+	links := make([][]*Link, n)
+	for i := range links {
+		links[i] = make([]*Link, n)
+	}
+	return &Network{n: n, links: links}
+}
+
+// Size returns the number of workers.
+func (nw *Network) Size() int { return nw.n }
+
+// SetLink installs the directed link from i to j.
+func (nw *Network) SetLink(i, j int, l Link) {
+	if i == j {
+		panic("simnet: self-link")
+	}
+	nw.links[i][j] = &l
+}
+
+// Link returns the directed link from i to j, or an error if absent.
+func (nw *Network) Link(i, j int) (*Link, error) {
+	if i < 0 || i >= nw.n || j < 0 || j >= nw.n {
+		return nil, fmt.Errorf("simnet: link %d->%d out of range (n=%d)", i, j, nw.n)
+	}
+	l := nw.links[i][j]
+	if l == nil {
+		return nil, fmt.Errorf("simnet: no link %d->%d", i, j)
+	}
+	return l, nil
+}
+
+// BandwidthAt returns the available bandwidth (Mbps) of link i->j at time
+// t. This is the paper's "network resource monitor": DLion's transmission
+// speed assurance module calls it each iteration to size partial gradients.
+func (nw *Network) BandwidthAt(i, j int, t float64) (float64, error) {
+	l, err := nw.Link(i, j)
+	if err != nil {
+		return 0, err
+	}
+	return l.Bandwidth.At(t), nil
+}
+
+// TransferTime returns the virtual seconds needed to move bytes from i to
+// j starting at time t: serialization at the current bandwidth plus half
+// the RTT. Bandwidth changes mid-transfer are approximated by the bandwidth
+// at the start of the transfer, matching how the paper's monitor samples
+// capacity at send time.
+func (nw *Network) TransferTime(i, j int, bytes int, t float64) (float64, error) {
+	if i == j {
+		return 0, nil
+	}
+	l, err := nw.Link(i, j)
+	if err != nil {
+		return 0, err
+	}
+	bw := l.Bandwidth.At(t)
+	if bw <= 0 {
+		bw = 0.01 // a dead link crawls rather than wedging the simulation
+	}
+	return float64(bytes)/(bw*mbps) + l.RTT/2, nil
+}
+
+// Uniform builds a full mesh where every directed link has the same
+// bandwidth schedule and RTT.
+func Uniform(n int, bandwidth simcompute.Schedule, rtt float64) *Network {
+	nw := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nw.SetLink(i, j, Link{Bandwidth: bandwidth, RTT: rtt})
+			}
+		}
+	}
+	return nw
+}
+
+// PerWorkerEgress builds a full mesh where all links leaving worker i share
+// worker i's bandwidth schedule — the shape of the paper's Table 3 network
+// rows ("50/50/35/35/20/20" assigns one figure per worker).
+func PerWorkerEgress(schedules []simcompute.Schedule, rtt float64) *Network {
+	nw := New(len(schedules))
+	for i := range schedules {
+		for j := range schedules {
+			if i != j {
+				nw.SetLink(i, j, Link{Bandwidth: schedules[i], RTT: rtt})
+			}
+		}
+	}
+	return nw
+}
+
+// FromMatrix builds a network from an explicit bandwidth matrix (Mbps), as
+// in the paper's Table 2 AWS measurements. matrix[i][j] is the bandwidth of
+// link i->j; the diagonal is ignored.
+func FromMatrix(matrix [][]float64, rtt float64) *Network {
+	n := len(matrix)
+	nw := New(n)
+	for i := 0; i < n; i++ {
+		if len(matrix[i]) != n {
+			panic(fmt.Sprintf("simnet: matrix row %d has %d entries, want %d", i, len(matrix[i]), n))
+		}
+		for j := 0; j < n; j++ {
+			if i != j {
+				nw.SetLink(i, j, Link{Bandwidth: simcompute.Constant(matrix[i][j]), RTT: rtt})
+			}
+		}
+	}
+	return nw
+}

@@ -1,0 +1,126 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"dlion/internal/simcompute"
+)
+
+func TestUniformMesh(t *testing.T) {
+	nw := Uniform(4, simcompute.Constant(100), 0.01)
+	if nw.Size() != 4 {
+		t.Fatalf("size %d", nw.Size())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			bw, err := nw.BandwidthAt(i, j, 0)
+			if err != nil || bw != 100 {
+				t.Fatalf("bw(%d,%d) = %v, %v", i, j, bw, err)
+			}
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	nw := Uniform(2, simcompute.Constant(80), 0.02) // 80 Mbps = 10 MB/s
+	d, err := nw.TransferTime(0, 1, 10_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 0.01 // 10 MB at 10 MB/s + RTT/2
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("transfer %v, want %v", d, want)
+	}
+}
+
+func TestTransferSelfIsFree(t *testing.T) {
+	nw := Uniform(2, simcompute.Constant(1), 1)
+	d, err := nw.TransferTime(1, 1, 1<<30, 0)
+	if err != nil || d != 0 {
+		t.Fatalf("self transfer %v, %v", d, err)
+	}
+}
+
+func TestMissingLink(t *testing.T) {
+	nw := New(3)
+	if _, err := nw.TransferTime(0, 1, 10, 0); err == nil {
+		t.Fatal("missing link must error")
+	}
+	if _, err := nw.BandwidthAt(0, 5, 0); err == nil {
+		t.Fatal("out of range must error")
+	}
+}
+
+func TestDeadLinkCrawls(t *testing.T) {
+	nw := New(2)
+	nw.SetLink(0, 1, Link{Bandwidth: simcompute.Constant(0)})
+	d, err := nw.TransferTime(0, 1, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d, 1) || d <= 0 {
+		t.Fatalf("dead link transfer %v", d)
+	}
+}
+
+func TestDynamicBandwidth(t *testing.T) {
+	nw := New(2)
+	nw.SetLink(0, 1, Link{Bandwidth: simcompute.Steps(0, 30, 100, 100)})
+	slow, _ := nw.TransferTime(0, 1, 1_000_000, 50)
+	fast, _ := nw.TransferTime(0, 1, 1_000_000, 150)
+	if math.Abs(slow/fast-100.0/30.0) > 1e-9 {
+		t.Fatalf("bandwidth change not reflected: %v vs %v", slow, fast)
+	}
+}
+
+func TestPerWorkerEgress(t *testing.T) {
+	scheds := []simcompute.Schedule{
+		simcompute.Constant(50), simcompute.Constant(20),
+	}
+	nw := PerWorkerEgress(scheds, 0)
+	bw01, _ := nw.BandwidthAt(0, 1, 0)
+	bw10, _ := nw.BandwidthAt(1, 0, 0)
+	if bw01 != 50 || bw10 != 20 {
+		t.Fatalf("egress bw %v/%v", bw01, bw10)
+	}
+}
+
+func TestFromMatrixAsymmetric(t *testing.T) {
+	m := [][]float64{
+		{0, 190, 181},
+		{187, 0, 91},
+		{171, 92, 0},
+	}
+	nw := FromMatrix(m, 0.05)
+	bw, _ := nw.BandwidthAt(2, 1, 0)
+	if bw != 92 {
+		t.Fatalf("bw(2,1) = %v", bw)
+	}
+	bw, _ = nw.BandwidthAt(1, 2, 0)
+	if bw != 91 {
+		t.Fatalf("bw(1,2) = %v", bw)
+	}
+}
+
+func TestFromMatrixRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	FromMatrix([][]float64{{0, 1}, {1}}, 0)
+}
+
+func TestSelfLinkPanics(t *testing.T) {
+	nw := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	nw.SetLink(1, 1, Link{})
+}

@@ -1,0 +1,79 @@
+package systems
+
+import (
+	"testing"
+
+	"dlion/internal/core"
+	"dlion/internal/grad"
+)
+
+func TestAllPresetsValid(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("want 5 systems, got %d", len(All()))
+	}
+	for _, sys := range All() {
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		// Stateful selectors (pointer-typed: Gaia, Ako, MaxN) must be
+		// freshly constructed per call; stateless value selectors (Full)
+		// may legitimately compare equal.
+		a, b := sys.NewSelector(), sys.NewSelector()
+		if _, stateless := a.(grad.Full); !stateless && a == b {
+			t.Fatalf("%s: NewSelector returned shared stateful instance", sys.Name)
+		}
+	}
+}
+
+func TestPaperSettings(t *testing.T) {
+	d := DLion()
+	if !d.LinkBudget || !d.Batch.DynamicBatching || !d.Batch.WeightedUpdate {
+		t.Fatal("DLion must enable all §3.2/§3.3 techniques")
+	}
+	if !d.DKT.Enabled || d.DKT.Period != 100 || d.DKT.Lambda != 0.75 {
+		t.Fatalf("DLion DKT settings %+v (paper: period 100, lambda 0.75)", d.DKT)
+	}
+	h := Hop(1, 5)
+	if h.Sync.Mode != core.SyncBounded || h.Sync.BackupWorkers != 1 || h.Sync.Staleness != 5 {
+		t.Fatalf("Hop sync %+v", h.Sync)
+	}
+	if Baseline().Sync.Mode != core.SyncFull {
+		t.Fatal("Baseline must be synchronous")
+	}
+	if Ako(4).Sync.Mode != core.SyncAsync {
+		t.Fatal("Ako must be asynchronous")
+	}
+	if Gaia(1).Sync.Mode != core.SyncFull {
+		t.Fatal("Gaia blocks until significant gradients are delivered")
+	}
+}
+
+func TestAblationVariants(t *testing.T) {
+	nodbwu := DLionNoDBWU()
+	if nodbwu.Batch.DynamicBatching || nodbwu.Batch.WeightedUpdate {
+		t.Fatal("no-DBWU must disable both")
+	}
+	nowu := DLionNoWU()
+	if !nowu.Batch.DynamicBatching || nowu.Batch.WeightedUpdate {
+		t.Fatal("no-WU keeps dynamic batching, drops weighted update")
+	}
+	m := MaxNOnly(10)
+	if m.LinkBudget || m.DKT.Enabled || m.Batch.DynamicBatching {
+		t.Fatal("MaxNOnly must isolate the selector")
+	}
+	if m.Name != "Max10" {
+		t.Fatalf("name %q", m.Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"baseline", "Ako", "GAIA", "hop", "dlion",
+		"dlion-no-wu", "dlion-no-dbwu", "max10"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}

@@ -1,0 +1,60 @@
+package tensor
+
+import "testing"
+
+func benchTensors(m, k, n int) (*Tensor, *Tensor, *Tensor) {
+	r := newTestRand(1)
+	return New(m, n), randTensor(r, m, k), randTensor(r, k, n)
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	c, x, y := benchTensors(128, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, x, y)
+	}
+}
+
+func BenchmarkMatMulTransB128(b *testing.B) {
+	r := newTestRand(2)
+	c := New(128, 128)
+	x := randTensor(r, 128, 128)
+	y := randTensor(r, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(c, x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	r := newTestRand(3)
+	in := randTensor(r, 32, 10, 16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(in, 3, 3, 1, 1)
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	r := newTestRand(4)
+	x := randTensor(r, 1<<16)
+	y := randTensor(r, 1<<16)
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AddScaled(0.001, y)
+	}
+}
+
+func BenchmarkMaxAbs(b *testing.B) {
+	r := newTestRand(5)
+	x := randTensor(r, 1<<16)
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MaxAbs()
+	}
+}

@@ -1,0 +1,194 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps kernel parallelism. Tests may lower it via SetMaxWorkers.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers bounds the number of goroutines the heavy kernels use and
+// returns the previous bound. n < 1 is treated as 1.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	old := maxWorkers
+	maxWorkers = n
+	return old
+}
+
+// parallelFor runs body(i) for i in [0,n) across up to maxWorkers goroutines.
+// Small ranges run inline to avoid goroutine overhead.
+func parallelFor(n int, body func(i int)) {
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes c = a·b for a (m×k), b (k×n), c (m×n), parallelizing over
+// rows of a. c must not alias a or b.
+func MatMul(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMul shape mismatch")
+	}
+	parallelFor(m, func(i int) {
+		crow := c.Data[i*n : (i+1)*n]
+		for x := range crow {
+			crow[x] = 0
+		}
+		arow := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	})
+}
+
+// MatMulTransA computes c = aᵀ·b for a (k×m), b (k×n), c (m×n).
+func MatMulTransA(c, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransA shape mismatch")
+	}
+	parallelFor(m, func(i int) {
+		crow := c.Data[i*n : (i+1)*n]
+		for x := range crow {
+			crow[x] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	})
+}
+
+// MatMulTransB computes c = a·bᵀ for a (m×k), b (n×k), c (m×n).
+func MatMulTransB(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransB shape mismatch")
+	}
+	parallelFor(m, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	})
+}
+
+// Im2Col unrolls input (batch, ch, h, w) into columns of kh×kw patches with
+// the given stride and zero padding, producing a
+// (batch*outH*outW, ch*kh*kw) matrix suitable for convolution-as-matmul.
+func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
+	b, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := New(b*outH*outW, c*kh*kw)
+	rowLen := c * kh * kw
+	parallelFor(b, func(n int) {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := cols.Data[((n*outH+oy)*outW+ox)*rowLen:][:rowLen]
+				ri := 0
+				for ch := 0; ch < c; ch++ {
+					base := ((n * c) + ch) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								row[ri] = in.Data[base+iy*w+ix]
+							} else {
+								row[ri] = 0
+							}
+							ri++
+						}
+					}
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters column gradients back into an
+// input-shaped tensor (batch, ch, h, w), accumulating overlaps.
+func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	out := New(b, c, h, w)
+	rowLen := c * kh * kw
+	parallelFor(b, func(n int) {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := cols.Data[((n*outH+oy)*outW+ox)*rowLen:][:rowLen]
+				ri := 0
+				for ch := 0; ch < c; ch++ {
+					base := ((n * c) + ch) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								out.Data[base+iy*w+ix] += row[ri]
+							}
+							ri++
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}

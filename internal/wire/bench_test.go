@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"testing"
+
+	"dlion/internal/grad"
+	"dlion/internal/stats"
+)
+
+func benchMessage(values int) *Message {
+	rng := stats.NewRNG(1)
+	sel := &grad.Selection{Var: "conv1/W", Total: values * 2}
+	for i := 0; i < values; i++ {
+		sel.Idx = append(sel.Idx, int32(i*2))
+		sel.Val = append(sel.Val, float32(rng.NormFloat64()))
+	}
+	return &Message{Type: TypeGradient, From: 0, To: 1, Iter: 42, LBS: 32,
+		Selections: []*grad.Selection{sel}}
+}
+
+func BenchmarkEncodeGradient10k(b *testing.B) {
+	m := benchMessage(10_000)
+	b.SetBytes(int64(m.WireBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkDecodeGradient10k(b *testing.B) {
+	enc := Encode(benchMessage(10_000))
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireBytes(b *testing.B) {
+	m := benchMessage(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.WireBytes()
+	}
+}

@@ -1,0 +1,382 @@
+// Package wire defines the messages DLion workers exchange — gradients,
+// loss reports, direct-knowledge-transfer requests and weights, RCP
+// (relative compute power) reports, and synchronization signals — and a
+// compact binary encoding used by the TCP transport and for wire-size
+// accounting. The original prototype serialized these through Redis; the
+// format here is self-contained (stdlib encoding/binary only).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dlion/internal/grad"
+	"dlion/internal/tensor"
+)
+
+// MsgType discriminates message payloads.
+type MsgType uint8
+
+// Message types. Gradient and Weights ride the data queue; the rest ride
+// the control queue, mirroring the prototype's two Redis queues (§4.2).
+const (
+	TypeGradient   MsgType = iota + 1 // partial gradients, per variable
+	TypeLossReport                    // average of last l losses (§3.4)
+	TypeDKTRequest                    // "send me your weights"
+	TypeWeights                       // best worker's model weights
+	TypeRCPReport                     // relative compute power share (§3.2)
+	TypeSync                          // iteration-complete signal
+)
+
+var typeNames = map[MsgType]string{
+	TypeGradient: "gradient", TypeLossReport: "loss", TypeDKTRequest: "dkt-req",
+	TypeWeights: "weights", TypeRCPReport: "rcp", TypeSync: "sync",
+}
+
+// String returns the type's name.
+func (t MsgType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is one unit of worker-to-worker communication.
+type Message struct {
+	Type MsgType
+	From int32
+	To   int32
+	Iter int64
+
+	// Gradient payload
+	LBS        int32 // sender's local batch size, for the db weight (Eq. 7)
+	Selections []*grad.Selection
+
+	// Weights payload (DKT)
+	Weights map[string]*tensor.Tensor
+
+	// Scalar payloads
+	Loss float64 // LossReport
+	RCP  float64 // RCPReport
+}
+
+// WireBytes returns the encoded size of the message without encoding it,
+// used by the simulator to charge transfer time.
+func (m *Message) WireBytes() int {
+	n := 1 + 4 + 4 + 8 // type, from, to, iter
+	switch m.Type {
+	case TypeGradient:
+		n += 4 + 4 // LBS, selection count
+		n += grad.TotalBytes(m.Selections)
+	case TypeWeights:
+		n += 4 // count
+		for name, t := range m.Weights {
+			n += 2 + len(name) + 4 + 4*t.Len()
+		}
+	case TypeLossReport, TypeRCPReport:
+		n += 8
+	}
+	return n
+}
+
+const maxName = 1 << 12
+
+var (
+	// ErrTruncated reports an incomplete message.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrCorrupt reports a structurally invalid message.
+	ErrCorrupt = errors.New("wire: corrupt message")
+)
+
+// Encode serializes m in little-endian binary.
+func Encode(m *Message) []byte {
+	buf := make([]byte, 0, m.WireBytes())
+	buf = append(buf, byte(m.Type))
+	buf = le32(buf, uint32(m.From))
+	buf = le32(buf, uint32(m.To))
+	buf = le64(buf, uint64(m.Iter))
+	switch m.Type {
+	case TypeGradient:
+		buf = le32(buf, uint32(m.LBS))
+		buf = le32(buf, uint32(len(m.Selections)))
+		for _, s := range m.Selections {
+			buf = encodeSelection(buf, s)
+		}
+	case TypeWeights:
+		buf = le32(buf, uint32(len(m.Weights)))
+		// deterministic order is not required for correctness; iterate map
+		for name, t := range m.Weights {
+			buf = le16(buf, uint16(len(name)))
+			buf = append(buf, name...)
+			buf = le32(buf, uint32(t.Len()))
+			for _, v := range t.Data {
+				buf = le32(buf, math.Float32bits(v))
+			}
+		}
+	case TypeLossReport:
+		buf = le64(buf, math.Float64bits(m.Loss))
+	case TypeRCPReport:
+		buf = le64(buf, math.Float64bits(m.RCP))
+	}
+	return buf
+}
+
+func encodeSelection(buf []byte, s *grad.Selection) []byte {
+	buf = le16(buf, uint16(len(s.Var)))
+	buf = append(buf, s.Var...)
+	buf = le32(buf, uint32(s.Total))
+	if s.Dense != nil {
+		buf = append(buf, 1)
+		buf = le32(buf, uint32(len(s.Dense)))
+		for _, v := range s.Dense {
+			buf = le32(buf, math.Float32bits(v))
+		}
+		return buf
+	}
+	buf = append(buf, 0)
+	buf = le32(buf, uint32(len(s.Idx)))
+	for k, i := range s.Idx {
+		buf = le32(buf, uint32(i))
+		buf = le32(buf, math.Float32bits(s.Val[k]))
+	}
+	return buf
+}
+
+// Decode parses a message produced by Encode.
+func Decode(data []byte) (*Message, error) {
+	r := &reader{data: data}
+	m := &Message{}
+	t, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Type = MsgType(t)
+	if _, ok := typeNames[m.Type]; !ok {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, t)
+	}
+	if m.From, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if m.To, err = r.i32(); err != nil {
+		return nil, err
+	}
+	iter, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Iter = int64(iter)
+	switch m.Type {
+	case TypeGradient:
+		if m.LBS, err = r.i32(); err != nil {
+			return nil, err
+		}
+		count, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if count > 1<<20 {
+			return nil, fmt.Errorf("%w: selection count %d", ErrCorrupt, count)
+		}
+		for i := uint32(0); i < count; i++ {
+			s, err := decodeSelection(r)
+			if err != nil {
+				return nil, err
+			}
+			m.Selections = append(m.Selections, s)
+		}
+	case TypeWeights:
+		count, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if count > 1<<20 {
+			return nil, fmt.Errorf("%w: weight count %d", ErrCorrupt, count)
+		}
+		m.Weights = make(map[string]*tensor.Tensor, count)
+		for i := uint32(0); i < count; i++ {
+			name, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			n, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(n)*4 > r.remaining() {
+				return nil, ErrTruncated
+			}
+			t := tensor.New(int(n))
+			for k := 0; k < int(n); k++ {
+				bits, _ := r.u32()
+				t.Data[k] = math.Float32frombits(bits)
+			}
+			m.Weights[name] = t
+		}
+	case TypeLossReport:
+		bits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.Loss = math.Float64frombits(bits)
+	case TypeRCPReport:
+		bits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.RCP = math.Float64frombits(bits)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	return m, nil
+}
+
+func decodeSelection(r *reader) (*grad.Selection, error) {
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	total, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	dense, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	s := &grad.Selection{Var: name, Total: int(total)}
+	if dense == 1 {
+		if int(n)*4 > r.remaining() {
+			return nil, ErrTruncated
+		}
+		s.Dense = make([]float32, n)
+		for i := range s.Dense {
+			bits, _ := r.u32()
+			s.Dense[i] = math.Float32frombits(bits)
+		}
+		return s, nil
+	}
+	if int(n)*8 > r.remaining() {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return s, nil
+	}
+	s.Idx = make([]int32, n)
+	s.Val = make([]float32, n)
+	for i := range s.Idx {
+		idx, _ := r.u32()
+		bits, _ := r.u32()
+		s.Idx[i] = int32(idx)
+		s.Val[i] = math.Float32frombits(bits)
+	}
+	return s, nil
+}
+
+// WriteFrame writes a length-prefixed encoded message to w (the TCP
+// transport framing).
+func WriteFrame(w io.Writer, m *Message) error {
+	payload := Encode(m)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Decode(payload)
+}
+
+// --- low-level helpers ---
+
+func le16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func le64(b []byte, v uint64) []byte {
+	return le32(le32(b, uint32(v)), uint32(v>>32))
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.remaining() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) i32() (int32, error) {
+	v, err := r.u32()
+	return int32(v), err
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxName || r.remaining() < int(n) {
+		return "", ErrTruncated
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
