@@ -1,0 +1,19 @@
+# Tier-1 gate: everything a change must pass before merging.
+# The -race pass covers the concurrency-heavy packages (TCP broker,
+# reconnecting client, real-mode runtime); running it repo-wide would
+# multiply simulation test time ~20x for no extra coverage.
+.PHONY: check build vet test race
+
+check: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/queue/... ./internal/realtime/...

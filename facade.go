@@ -3,6 +3,7 @@ package dlion
 import (
 	"dlion/internal/data"
 	"dlion/internal/env"
+	"dlion/internal/fault"
 	"dlion/internal/nn"
 	"dlion/internal/queue"
 	"dlion/internal/realtime"
@@ -20,6 +21,34 @@ type (
 	// Link is one directed connection.
 	Link = simnet.Link
 )
+
+// Fault-injection types re-exported for chaos experiments (DESIGN.md §7).
+// Attach a FaultSchedule to ExperimentConfig.Faults; Result.Faults reports
+// the injector's counters after the run.
+type (
+	// FaultSchedule declares worker crashes, link partitions, loss, delay,
+	// corruption, and broker outages against virtual time.
+	FaultSchedule = fault.Schedule
+	// FaultWindow is a half-open [Start, End) activity window; End = 0
+	// means "until the run ends".
+	FaultWindow = fault.Window
+	// FaultCrash stops a worker at At; RestartAfter > 0 restarts it from
+	// the newest checkpoint and rejoins it to the cluster.
+	FaultCrash = fault.Crash
+	// FaultPartition drops messages on matching links during its window.
+	FaultPartition = fault.Partition
+	// FaultLoss drops a random fraction of messages on matching links.
+	FaultLoss = fault.Loss
+	// FaultDelay adds latency on matching links.
+	FaultDelay = fault.Delay
+	// FaultCorrupt corrupts (and thus drops) a random message fraction.
+	FaultCorrupt = fault.Corrupt
+	// FaultStats are the injector's counters, reported on Result.Faults.
+	FaultStats = fault.Stats
+)
+
+// FaultAny wildcards a fault rule's endpoint to match every worker.
+const FaultAny = fault.Any
 
 // ConstantSchedule returns a schedule that always yields v.
 func ConstantSchedule(v float64) Schedule { return simcompute.Constant(v) }

@@ -10,6 +10,7 @@ import (
 
 	"dlion/internal/core"
 	"dlion/internal/data"
+	"dlion/internal/fault"
 	"dlion/internal/metrics"
 	"dlion/internal/nn"
 	"dlion/internal/simclock"
@@ -34,6 +35,12 @@ type Config struct {
 	EvalBatch   int     // forward batch for evaluation (default 64)
 	TracePeriod float64 // seconds between trace samples; 0 disables traces
 
+	// Faults schedules injected failures — worker crash/restart, link
+	// partitions, packet loss, delay, corruption — over virtual time. Nil
+	// runs fault-free. Crashed workers are restored from the schedule's
+	// periodic checkpoints and re-synced from the freshest live peer.
+	Faults *fault.Schedule
+
 	Seed uint64
 }
 
@@ -54,9 +61,15 @@ type Result struct {
 	Iters    []int64
 	Traces   []Trace
 
-	// TotalBytes is the sum of bytes all workers sent (network-model
-	// scaled), for communication-volume comparisons.
+	// TotalBytes is the sum of bytes actually delivered to live workers
+	// (network-model scaled), for communication-volume comparisons.
+	// Messages dropped by partitions, loss, corruption, dead links, or
+	// crashed receivers are not counted.
 	TotalBytes int64
+
+	// Faults snapshots the fault-injection counters (zero when no schedule
+	// was configured).
+	Faults fault.Stats
 
 	// Models exposes the final model replicas (inspection and tests).
 	Models []*nn.Model
@@ -73,7 +86,7 @@ func (c *Config) validate() error {
 	case c.Horizon <= 0:
 		return fmt.Errorf("cluster: horizon %v", c.Horizon)
 	}
-	return nil
+	return c.Faults.Validate(c.N)
 }
 
 func (c Config) withDefaults() Config {
@@ -95,9 +108,11 @@ type simEnv struct {
 	net       *simnet.Network
 	computes  []*simcompute.Compute
 	workers   []*core.Worker
+	inj       *fault.Injector
 	wireScale float64
 	egress    []float64 // per worker: time its NIC is busy until
 	sentBytes int64
+	ckpts     [][]byte // latest checkpoint per worker (crash recovery)
 }
 
 func (e *simEnv) SendScale() float64           { return e.wireScale }
@@ -122,33 +137,50 @@ func (e *simEnv) Bandwidth(from, to int) float64 {
 // and weights) are scaled to the paper's model wire size, serialized on the
 // sender's egress link (shared across its peers, which is what makes
 // all-to-all full-gradient exchange expensive), and delivered after
-// serialization plus half the RTT.
+// serialization plus half the RTT plus any injected delay.
+//
+// Failure semantics: an unconnected or zero-bandwidth link, or an injected
+// partition, drops the message before it consumes egress time (the NIC
+// fails fast). Injected loss and corruption drop it after serialization —
+// the bytes crossed the sender's egress and died in the WAN or at the
+// receiver's integrity check. TotalBytes counts only messages actually
+// delivered to a live worker.
 func (e *simEnv) Send(from, to int, m *wire.Message) {
 	bytes := float64(m.WireBytes())
 	if m.Type == wire.TypeGradient || m.Type == wire.TypeWeights {
 		bytes *= e.wireScale
 	}
-	e.sentBytes += int64(bytes)
 	now := e.eng.Now()
 	start := now
 	if e.egress[from] > start {
 		start = e.egress[from]
 	}
 	bw, err := e.net.BandwidthAt(from, to, start)
-	if err != nil {
-		return // unconnected: drop, like a partitioned link
+	if err != nil || bw <= 0 {
+		return // unconnected or dead link: behaves as a partition
 	}
-	if bw <= 0 {
-		bw = 0.01
+	v := e.inj.Message(from, to, now)
+	if v.Partitioned {
+		return
 	}
 	ser := bytes * 8 / (bw * 1e6)
 	e.egress[from] = start + ser
+	if !v.Deliver {
+		return // lost or corrupted in flight: egress was spent, nothing arrives
+	}
 	rtt := 0.0
 	if l, err := e.net.Link(from, to); err == nil {
 		rtt = l.RTT
 	}
-	arrival := start + ser + rtt/2
-	e.eng.At(arrival, func() { e.workers[to].HandleMessage(m) })
+	arrival := start + ser + rtt/2 + v.ExtraDelay
+	e.eng.At(arrival, func() {
+		if e.workers[to].Stopped() {
+			e.inj.DeadDrop()
+			return
+		}
+		e.sentBytes += int64(bytes)
+		e.workers[to].HandleMessage(m)
+	})
 }
 
 // Run executes one experiment and returns its results.
@@ -171,6 +203,7 @@ func Run(cfg Config) (*Result, error) {
 		eng:      simclock.New(),
 		net:      cfg.Network,
 		computes: cfg.Computes,
+		inj:      fault.NewInjector(cfg.Faults),
 		egress:   make([]float64, cfg.N),
 	}
 	models := make([]*nn.Model, cfg.N)
@@ -226,6 +259,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.TracePeriod > 0 {
 		env.eng.Every(cfg.TracePeriod, trace, nil)
 	}
+	scheduleFaults(env, models, spec)
 	for _, w := range env.workers {
 		w.Start()
 	}
@@ -241,8 +275,70 @@ func Run(cfg Config) (*Result, error) {
 		res.Iters = append(res.Iters, w.Iter())
 	}
 	res.TotalBytes = env.sentBytes
+	res.Faults = env.inj.Stats()
 	res.Models = models
 	return res, nil
+}
+
+// scheduleFaults arms the crash/restart timeline and the periodic
+// checkpoint loop on the event engine. A crashed worker is Stop()ped (its
+// timers die, traffic to it is dropped); at restart its replica is restored
+// from the latest checkpoint — or rebuilt from the spec when none exists
+// yet — and Resume re-syncs it by pulling a full weight snapshot from the
+// freshest live peer (the rejoin path).
+func scheduleFaults(env *simEnv, models []*nn.Model, spec nn.Spec) {
+	if period := env.inj.CheckpointPeriod(); period > 0 {
+		ckpts := make([][]byte, len(models))
+		env.eng.Every(period, func() {
+			for i, w := range env.workers {
+				if !w.Stopped() {
+					ckpts[i] = models[i].Checkpoint()
+				}
+			}
+		}, nil)
+		env.ckpts = ckpts
+	}
+	for _, cr := range env.inj.Crashes() {
+		cr := cr
+		env.eng.At(cr.At, func() {
+			w := env.workers[cr.Worker]
+			if w.Stopped() {
+				return
+			}
+			w.Stop()
+			env.inj.CrashExecuted()
+			if cr.RestartAfter <= 0 {
+				return
+			}
+			env.eng.After(cr.RestartAfter, func() {
+				if env.ckpts != nil && env.ckpts[cr.Worker] != nil {
+					// ignore restore errors: same spec produced the
+					// checkpoint, so they cannot occur
+					_ = models[cr.Worker].Restore(env.ckpts[cr.Worker])
+				} else {
+					// no checkpoint yet: cold restart from a fresh replica
+					_ = models[cr.Worker].CopyWeightsFrom(spec.Build())
+				}
+				env.inj.RestartExecuted()
+				w.Resume(freshestLivePeer(env.workers, cr.Worker))
+			})
+		})
+	}
+}
+
+// freshestLivePeer returns the running worker (other than self) with the
+// most completed iterations, or -1 when none is alive.
+func freshestLivePeer(workers []*core.Worker, self int) int {
+	best, bestIter := -1, int64(-1)
+	for i, w := range workers {
+		if i == self || w.Stopped() {
+			continue
+		}
+		if w.Iter() > bestIter {
+			best, bestIter = i, w.Iter()
+		}
+	}
+	return best
 }
 
 // RunUntilConverged repeatedly extends the horizon until the accuracy

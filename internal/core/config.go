@@ -113,6 +113,15 @@ type Config struct {
 	// per-link byte budget BW_net_j/Iter_com_i is passed to the selector.
 	LinkBudget bool
 
+	// LivenessTimeout is how long (seconds) a peer may stay silent before
+	// this worker treats it as dead: synchronization strategies stop
+	// waiting for it, gradient exchange and byte budgets adapt to the live
+	// set, and its DKT loss reports expire. 0 (the default) disables
+	// liveness tracking — every peer is assumed alive forever, the
+	// fault-free behavior. Set it well above the longest quiet period a
+	// healthy peer can have (a few iteration times plus network delay).
+	LivenessTimeout float64
+
 	Batch BatchConfig
 	Sync  SyncConfig
 	DKT   DKTConfig
@@ -137,6 +146,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: %s: DKT period %d", c.Name, c.DKT.Period)
 	case c.Sync.Mode == SyncBounded && c.Sync.Staleness < 1:
 		return fmt.Errorf("core: %s: staleness %d", c.Name, c.Sync.Staleness)
+	case c.LivenessTimeout < 0:
+		return fmt.Errorf("core: %s: liveness timeout %v", c.Name, c.LivenessTimeout)
 	}
 	return nil
 }

@@ -21,17 +21,25 @@ func (w *Worker) maybeDKT() {
 	}
 	w.lastDKTIter = w.iter
 	avg := w.AvgRecentLoss()
-	for _, p := range w.peers() {
+	for _, p := range w.livePeers() {
 		w.send(&wire.Message{Type: wire.TypeLossReport, From: int32(w.ID),
 			To: int32(p), Iter: w.iter, Loss: avg})
 	}
-	w.env.After(dktDecisionDelay, w.decideDKT)
+	w.after(dktDecisionDelay, w.decideDKT)
 }
 
 // decideDKT elects the best worker from the latest loss reports and pulls
 // its weights. In the Best2all default every worker that is not the best
 // requests the transfer; in the Best2worst variant only the worst does.
+// Loss reports from peers that have since gone silent past the liveness
+// timeout are expired first — electing a dead peer as "best" would stall
+// the transfer forever.
 func (w *Worker) decideDKT() {
+	for p := range w.peerLoss {
+		if !w.peerLive(p) {
+			delete(w.peerLoss, p)
+		}
+	}
 	myLoss := w.AvgRecentLoss()
 	best, bestLoss := w.ID, myLoss
 	worst, worstLoss := w.ID, myLoss

@@ -15,9 +15,13 @@ import (
 //
 // i.e. the bytes the link can absorb during one of this worker's
 // iterations, exactly the paper's formula with Iter_com_i = 1/iterSeconds.
+// Exchange targets only live peers: gradients serialized toward a dead
+// peer would waste shared egress bandwidth, and the fan-out divisor of the
+// byte budget shrinks with the live set so surviving links get the freed
+// share.
 func (w *Worker) exchangeGradients() {
 	params := w.model.Params()
-	peers := w.peers()
+	peers := w.livePeers()
 	for _, p := range peers {
 		budget := 0
 		if w.cfg.LinkBudget {

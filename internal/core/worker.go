@@ -44,6 +44,7 @@ type Stats struct {
 	Iters            int64
 	SamplesProcessed int64
 	MsgsSent         int64
+	MsgsRecvd        int64
 	BytesSent        int64
 	GradValuesSent   int64
 	DKTWeightsSent   int64
@@ -67,9 +68,10 @@ type Worker struct {
 	iterSec float64 // duration charged for the in-flight iteration
 	gbs     *gbsController
 
-	rcp      map[int]float64 // latest RCP report per worker (incl. self)
-	peerIter map[int]int64   // highest gradient iteration received per peer
-	peerLoss map[int]float64 // latest loss report per peer
+	rcp       map[int]float64 // latest RCP report per worker (incl. self)
+	peerIter  map[int]int64   // highest gradient iteration received per peer
+	peerLoss  map[int]float64 // latest loss report per peer
+	lastHeard map[int]float64 // last time each peer was heard from (liveness)
 
 	lossWin     []float64
 	lastDKTIter int64
@@ -82,6 +84,15 @@ type Worker struct {
 
 	waitingSync bool
 	started     bool
+
+	// Crash/restart lifecycle. A stopped worker ignores messages and its
+	// pending timers; gen invalidates timers armed before the last Stop so
+	// a resumed worker does not double-run its loops.
+	stopped   bool
+	gen       int
+	aliveFrom float64 // when this worker (re)started; liveness grace origin
+	rejoining    bool // next weights message is a rejoin snapshot: adopt fully
+	recheckArmed bool // a sync-liveness recheck timer is pending
 
 	stats Stats
 }
@@ -113,6 +124,7 @@ func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Work
 		rcp:          map[int]float64{},
 		peerIter:     map[int]int64{},
 		peerLoss:     map[int]float64{},
+		lastHeard:    map[int]float64{},
 		lastSelCount: map[int]int{},
 		lastBudget:   map[int]int{},
 		trainSize:    trainSize,
@@ -171,16 +183,69 @@ func (w *Worker) Start() {
 		panic("core: worker started twice")
 	}
 	w.started = true
+	w.aliveFrom = w.env.Now()
 	if w.cfg.Batch.DynamicBatching {
 		w.profileAndBroadcast()
-		w.env.After(w.cfg.Batch.ProfilePeriod, w.profileLoop)
+		w.after(w.cfg.Batch.ProfilePeriod, w.profileLoop)
 	}
 	w.startIteration()
 }
 
+// Stop kills the worker, as if its process died: pending timers become
+// no-ops and incoming messages are ignored until Resume.
+func (w *Worker) Stop() {
+	w.stopped = true
+	w.gen++
+	w.waitingSync = false
+}
+
+// Stopped reports whether the worker is currently stopped (crashed).
+func (w *Worker) Stopped() bool { return w.stopped }
+
+// Resume restarts a stopped worker after the harness restored its model
+// (e.g. from a checkpoint). syncPeer >= 0 is the rejoin path: the worker
+// requests a fresh weight snapshot from that peer and adopts it outright,
+// re-syncing state that a possibly-stale checkpoint cannot provide.
+// Cross-worker soft state (loss window, liveness clocks) restarts from
+// scratch, as it would in a new process.
+func (w *Worker) Resume(syncPeer int) {
+	if !w.stopped {
+		return
+	}
+	w.stopped = false
+	w.aliveFrom = w.env.Now()
+	w.lossWin = nil
+	w.lastHeard = map[int]float64{}
+	w.peerLoss = map[int]float64{}
+	w.waitingSync = false
+	if syncPeer >= 0 && syncPeer != w.ID {
+		w.rejoining = true
+		w.send(&wire.Message{Type: wire.TypeDKTRequest, From: int32(w.ID),
+			To: int32(syncPeer), Iter: w.iter})
+	}
+	if w.cfg.Batch.DynamicBatching {
+		w.profileAndBroadcast()
+		w.after(w.cfg.Batch.ProfilePeriod, w.profileLoop)
+	}
+	w.startIteration()
+}
+
+// after schedules fn like env.After, but arms it to the current lifecycle
+// generation: if the worker crashes before the timer fires, the callback is
+// a no-op (the process that armed it is gone).
+func (w *Worker) after(d float64, fn func()) {
+	gen := w.gen
+	w.env.After(d, func() {
+		if w.stopped || w.gen != gen {
+			return
+		}
+		fn()
+	})
+}
+
 func (w *Worker) profileLoop() {
 	w.profileAndBroadcast()
-	w.env.After(w.cfg.Batch.ProfilePeriod, w.profileLoop)
+	w.after(w.cfg.Batch.ProfilePeriod, w.profileLoop)
 }
 
 // profileAndBroadcast runs the LBS controller's capacity probe and shares
@@ -189,7 +254,7 @@ func (w *Worker) profileAndBroadcast() {
 	x, y := w.env.ProfileCompute(w.ID, profileBatches(w.cfg.Batch.InitialLBS))
 	r := computeRCP(x, y)
 	w.rcp[w.ID] = r
-	for _, p := range w.peers() {
+	for _, p := range w.livePeers() {
 		w.send(&wire.Message{Type: wire.TypeRCPReport, From: int32(w.ID), To: int32(p),
 			Iter: w.iter, RCP: r})
 	}
@@ -206,6 +271,39 @@ func (w *Worker) peers() []int {
 	return out
 }
 
+// peerLive reports whether peer p is considered alive: heard from within
+// LivenessTimeout, or within the grace period after this worker started.
+// With LivenessTimeout <= 0 every peer is always live (the fault-free
+// assumption the pre-resilience code made).
+func (w *Worker) peerLive(p int) bool {
+	if w.cfg.LivenessTimeout <= 0 {
+		return true
+	}
+	last, ok := w.lastHeard[p]
+	if !ok {
+		last = w.aliveFrom
+	}
+	return w.env.Now()-last <= w.cfg.LivenessTimeout
+}
+
+// livePeers returns the peers currently considered alive, in id order.
+func (w *Worker) livePeers() []int {
+	peers := w.peers()
+	if w.cfg.LivenessTimeout <= 0 {
+		return peers
+	}
+	live := make([]int, 0, len(peers))
+	for _, p := range peers {
+		if w.peerLive(p) {
+			live = append(live, p)
+		}
+	}
+	return live
+}
+
+// LivePeers exposes the live peer set (drivers and tests).
+func (w *Worker) LivePeers() []int { return w.livePeers() }
+
 func (w *Worker) send(m *wire.Message) {
 	w.stats.MsgsSent++
 	w.stats.BytesSent += int64(m.WireBytes())
@@ -213,7 +311,9 @@ func (w *Worker) send(m *wire.Message) {
 }
 
 // currentLBS applies the GBS and LBS controllers (Eq. 5) to decide this
-// worker's batch for the next iteration.
+// worker's batch for the next iteration. Shares are computed over the live
+// worker set, so the global batch is redistributed — not silently shrunk —
+// when peers die: dead workers' RCP entries stop diluting the split.
 func (w *Worker) currentLBS() int {
 	gbs := w.gbs.GBSAt(w.env.Now(), w.epochsDone())
 	if !w.cfg.Batch.DynamicBatching {
@@ -223,8 +323,27 @@ func (w *Worker) currentLBS() int {
 		}
 		return l
 	}
-	shares := lbsShares(gbs, w.env.NumWorkers(), w.rcp, w.cfg.Batch.MinLBS)
-	return shares[w.ID]
+	// Build the live cohort (self + live peers) in id order and remap RCP
+	// reports onto compact indices so lbsShares splits GBS among them only.
+	n := w.env.NumWorkers()
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i == w.ID || w.peerLive(i) {
+			ids = append(ids, i)
+		}
+	}
+	me := 0
+	rcp := make(map[int]float64, len(ids))
+	for k, id := range ids {
+		if id == w.ID {
+			me = k
+		}
+		if v, ok := w.rcp[id]; ok {
+			rcp[k] = v
+		}
+	}
+	shares := lbsShares(gbs, len(ids), rcp, w.cfg.Batch.MinLBS)
+	return shares[me]
 }
 
 // startIteration draws a batch, computes gradients against the current
@@ -238,7 +357,7 @@ func (w *Worker) startIteration() {
 	loss, _ := w.model.TrainStep(x, y)
 	w.pushLoss(loss)
 	w.iterSec = w.env.IterSeconds(w.ID, w.lbs)
-	w.env.After(w.iterSec, w.completeIteration)
+	w.after(w.iterSec, w.completeIteration)
 }
 
 func (w *Worker) pushLoss(l float64) {
@@ -266,7 +385,9 @@ func (w *Worker) completeIteration() {
 }
 
 // maybeStartNext starts the next iteration if the synchronization strategy
-// allows, otherwise blocks until a qualifying gradient arrives.
+// allows, otherwise blocks until a qualifying gradient arrives — or, with
+// liveness tracking on, until the blocking peer is declared dead (a dead
+// peer sends no unblocking gradient, so a timer must re-evaluate).
 func (w *Worker) maybeStartNext() {
 	if w.canProceed() {
 		w.waitingSync = false
@@ -274,24 +395,51 @@ func (w *Worker) maybeStartNext() {
 		return
 	}
 	w.waitingSync = true
+	w.armSyncRecheck()
 }
 
-// canProceed implements the synch_training strategies (§4.2).
+func (w *Worker) armSyncRecheck() {
+	if w.cfg.LivenessTimeout <= 0 || w.recheckArmed {
+		return
+	}
+	w.recheckArmed = true
+	w.after(w.cfg.LivenessTimeout, func() {
+		w.recheckArmed = false
+		if !w.waitingSync {
+			return
+		}
+		if w.canProceed() {
+			w.waitingSync = false
+			w.startIteration()
+			return
+		}
+		w.armSyncRecheck()
+	})
+}
+
+// canProceed implements the synch_training strategies (§4.2). Only live
+// peers participate: a sync or bounded strategy that kept waiting for a
+// crashed peer would deadlock the whole cluster, so dead peers' missing
+// gradients neither block progress nor count toward staleness.
 func (w *Worker) canProceed() bool {
 	switch w.cfg.Sync.Mode {
 	case SyncAsync:
 		return true
 	case SyncFull:
-		for _, p := range w.peers() {
+		for _, p := range w.livePeers() {
 			if w.peerIter[p] < w.iter {
 				return false
 			}
 		}
 		return true
 	case SyncBounded:
+		live := w.livePeers()
+		if len(live) == 0 {
+			return true
+		}
 		arrived := 0
 		minIter := int64(1 << 62)
-		for _, p := range w.peers() {
+		for _, p := range live {
 			if w.peerIter[p] >= w.iter {
 				arrived++
 			}
@@ -299,7 +447,7 @@ func (w *Worker) canProceed() bool {
 				minIter = w.peerIter[p]
 			}
 		}
-		need := len(w.peers()) - w.cfg.Sync.BackupWorkers
+		need := len(live) - w.cfg.Sync.BackupWorkers
 		if arrived < need {
 			return false
 		}
@@ -309,9 +457,14 @@ func (w *Worker) canProceed() bool {
 }
 
 // HandleMessage processes one incoming message. It must be called from the
-// Env's event-loop goroutine.
+// Env's event-loop goroutine. A stopped (crashed) worker ignores traffic.
 func (w *Worker) HandleMessage(m *wire.Message) {
+	if w.stopped {
+		return
+	}
 	from := int(m.From)
+	w.stats.MsgsRecvd++
+	w.lastHeard[from] = w.env.Now()
 	switch m.Type {
 	case wire.TypeGradient:
 		if m.Iter > w.peerIter[from] {
@@ -329,6 +482,15 @@ func (w *Worker) HandleMessage(m *wire.Message) {
 	case wire.TypeDKTRequest:
 		w.sendWeights(from)
 	case wire.TypeWeights:
+		if w.rejoining {
+			// Rejoin snapshot: adopt the live peer's weights outright — a
+			// λ-merge with a stale checkpoint would keep half the staleness.
+			if err := w.model.SetWeights(m.Weights); err == nil {
+				w.rejoining = false
+				w.stats.DKTMerges++
+			}
+			return
+		}
 		if err := w.model.MergeWeights(m.Weights, w.cfg.DKT.Lambda); err == nil {
 			w.stats.DKTMerges++
 		}

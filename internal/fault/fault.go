@@ -1,0 +1,336 @@
+// Package fault makes failure a first-class, injectable condition. DLion
+// targets micro-clouds — small, geo-distributed clusters whose nodes and
+// WAN links fail far more often than a datacenter's — so the harnesses must
+// be able to rehearse those failures deterministically. A Schedule declares
+// what goes wrong and when (worker crashes with optional restart, link
+// partitions, packet loss, extra delay, message corruption, broker
+// outages); an Injector compiled from it answers per-message verdicts for
+// both the discrete-event simulator (internal/cluster) and the realtime
+// harness (internal/realtime).
+package fault
+
+import (
+	"fmt"
+
+	"dlion/internal/stats"
+)
+
+// Any is a wildcard endpoint: a partition/loss/delay rule with From or To
+// set to Any matches every worker on that side.
+const Any = -1
+
+// Window is a time interval [Start, End) in seconds on whichever clock the
+// consumer runs (virtual seconds in the simulator, seconds since node start
+// in real mode). End = 0 means open-ended.
+type Window struct {
+	Start, End float64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool {
+	return t >= w.Start && (w.End <= 0 || t < w.End)
+}
+
+func (w Window) validate(kind string) error {
+	if w.Start < 0 {
+		return fmt.Errorf("fault: %s window start %v < 0", kind, w.Start)
+	}
+	if w.End != 0 && w.End <= w.Start {
+		return fmt.Errorf("fault: %s window [%v, %v) is empty", kind, w.Start, w.End)
+	}
+	return nil
+}
+
+// Crash kills Worker at time At. RestartAfter > 0 brings it back that many
+// seconds later (restored from its latest checkpoint by the harness);
+// RestartAfter <= 0 means the worker never returns.
+type Crash struct {
+	Worker       int
+	At           float64
+	RestartAfter float64
+}
+
+// Partition severs the directed link From->To (wildcards allowed) during
+// the window; Bidirectional also severs To->From. Messages on a partitioned
+// link are dropped before they consume any egress bandwidth.
+type Partition struct {
+	From, To      int
+	Bidirectional bool
+	Window
+}
+
+func (p Partition) matches(from, to int) bool {
+	if matchLink(p.From, p.To, from, to) {
+		return true
+	}
+	return p.Bidirectional && matchLink(p.From, p.To, to, from)
+}
+
+// Loss drops each message on the matching link with probability Rate
+// during the window. Unlike a partition, a lost message still occupied the
+// sender's egress link — it died in the WAN, not at the NIC.
+type Loss struct {
+	From, To int
+	Rate     float64
+	Window
+}
+
+// Delay adds Extra seconds to the delivery of each message on the matching
+// link during the window (a congested or rerouted WAN path).
+type Delay struct {
+	From, To int
+	Extra    float64
+	Window
+}
+
+// Corrupt flips each message on the matching link to garbage with
+// probability Rate during the window. Receivers are assumed to detect the
+// damage (framing/integrity check) and discard the message, so a corrupted
+// message behaves like a loss that still crossed the wire.
+type Corrupt struct {
+	From, To int
+	Rate     float64
+	Window
+}
+
+// BrokerOutage marks the message broker as down during the window. The
+// simulator has no broker; the realtime harness uses it to schedule broker
+// kill/restart in chaos tests, and ReconnectingClient is what survives it.
+type BrokerOutage struct {
+	Window
+}
+
+// Schedule is a declarative description of everything that goes wrong in
+// one run. The zero value (and a nil *Schedule) injects no faults.
+type Schedule struct {
+	Crashes    []Crash
+	Partitions []Partition
+	Loss       []Loss
+	Delays     []Delay
+	Corruption []Corrupt
+	Outages    []BrokerOutage
+
+	// CheckpointPeriod is how often (seconds) the harness snapshots each
+	// worker's weights so a crashed worker can restart from a recent state
+	// rather than from scratch. 0 disables periodic checkpoints; crashed
+	// workers then restart from a fresh model and rely on the rejoin
+	// re-sync to catch up.
+	CheckpointPeriod float64
+
+	// Seed drives the injector's RNG (loss/corruption sampling). Runs with
+	// the same schedule and seed make identical drop decisions.
+	Seed uint64
+}
+
+// Validate checks the schedule against a cluster of n workers. n <= 0
+// skips endpoint range checks (real mode may not know the cluster size).
+func (s *Schedule) Validate(n int) error {
+	if s == nil {
+		return nil
+	}
+	checkEndpoint := func(kind string, id int) error {
+		if id == Any {
+			return nil
+		}
+		if id < 0 || (n > 0 && id >= n) {
+			return fmt.Errorf("fault: %s endpoint %d out of range (n=%d)", kind, id, n)
+		}
+		return nil
+	}
+	for _, c := range s.Crashes {
+		if c.Worker < 0 || (n > 0 && c.Worker >= n) {
+			return fmt.Errorf("fault: crash worker %d out of range (n=%d)", c.Worker, n)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: crash of worker %d at %v < 0", c.Worker, c.At)
+		}
+	}
+	for _, p := range s.Partitions {
+		if err := checkEndpoint("partition", p.From); err != nil {
+			return err
+		}
+		if err := checkEndpoint("partition", p.To); err != nil {
+			return err
+		}
+		if err := p.Window.validate("partition"); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Loss {
+		if err := checkEndpoint("loss", l.From); err != nil {
+			return err
+		}
+		if err := checkEndpoint("loss", l.To); err != nil {
+			return err
+		}
+		if l.Rate < 0 || l.Rate > 1 {
+			return fmt.Errorf("fault: loss rate %v outside [0,1]", l.Rate)
+		}
+		if err := l.Window.validate("loss"); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Delays {
+		if err := checkEndpoint("delay", d.From); err != nil {
+			return err
+		}
+		if err := checkEndpoint("delay", d.To); err != nil {
+			return err
+		}
+		if d.Extra < 0 {
+			return fmt.Errorf("fault: negative delay %v", d.Extra)
+		}
+		if err := d.Window.validate("delay"); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Corruption {
+		if err := checkEndpoint("corruption", c.From); err != nil {
+			return err
+		}
+		if err := checkEndpoint("corruption", c.To); err != nil {
+			return err
+		}
+		if c.Rate < 0 || c.Rate > 1 {
+			return fmt.Errorf("fault: corruption rate %v outside [0,1]", c.Rate)
+		}
+		if err := c.Window.validate("corruption"); err != nil {
+			return err
+		}
+	}
+	for _, o := range s.Outages {
+		if err := o.Window.validate("outage"); err != nil {
+			return err
+		}
+	}
+	if s.CheckpointPeriod < 0 {
+		return fmt.Errorf("fault: checkpoint period %v < 0", s.CheckpointPeriod)
+	}
+	return nil
+}
+
+func matchLink(ruleFrom, ruleTo, from, to int) bool {
+	return (ruleFrom == Any || ruleFrom == from) && (ruleTo == Any || ruleTo == to)
+}
+
+// Verdict is the injector's decision for one message.
+type Verdict struct {
+	// Deliver is false when the message must be dropped.
+	Deliver bool
+	// Partitioned distinguishes a partition drop (nothing leaves the NIC)
+	// from loss/corruption (the bytes crossed the sender's egress and died
+	// later). Harnesses charge egress time accordingly.
+	Partitioned bool
+	// Corrupted marks a drop caused by corruption (delivered bytes failed
+	// the receiver's integrity check).
+	Corrupted bool
+	// ExtraDelay is added to the delivery latency of a delivered message.
+	ExtraDelay float64
+}
+
+// Stats counts what the injector (and its harness) did to the run.
+type Stats struct {
+	Partitioned int64 // messages dropped on partitioned links
+	Lost        int64 // messages dropped by random loss
+	Corrupted   int64 // messages discarded after corruption
+	Delayed     int64 // messages delivered with extra delay
+	DeadDrops   int64 // messages dropped because the receiver was down
+	Crashes     int64 // worker crashes executed
+	Restarts    int64 // worker restarts executed
+}
+
+// Injector answers per-message fault verdicts for a schedule. It is not
+// safe for concurrent use; the simulator calls it from the event loop, and
+// realtime consumers must serialize access themselves.
+type Injector struct {
+	s     *Schedule
+	rng   *stats.RNG
+	stats Stats
+}
+
+// NewInjector compiles a schedule. A nil schedule yields a pass-through
+// injector that delivers everything.
+func NewInjector(s *Schedule) *Injector {
+	seed := uint64(0)
+	if s != nil {
+		seed = s.Seed
+	}
+	return &Injector{s: s, rng: stats.NewRNG(seed ^ 0xfa017)}
+}
+
+// Message decides the fate of one message on link from->to at time t and
+// updates the counters accordingly.
+func (in *Injector) Message(from, to int, t float64) Verdict {
+	if in.s == nil {
+		return Verdict{Deliver: true}
+	}
+	for _, p := range in.s.Partitions {
+		if p.matches(from, to) && p.Contains(t) {
+			in.stats.Partitioned++
+			return Verdict{Partitioned: true}
+		}
+	}
+	for _, l := range in.s.Loss {
+		if matchLink(l.From, l.To, from, to) && l.Contains(t) && in.rng.Float64() < l.Rate {
+			in.stats.Lost++
+			return Verdict{}
+		}
+	}
+	for _, c := range in.s.Corruption {
+		if matchLink(c.From, c.To, from, to) && c.Contains(t) && in.rng.Float64() < c.Rate {
+			in.stats.Corrupted++
+			return Verdict{Corrupted: true}
+		}
+	}
+	v := Verdict{Deliver: true}
+	for _, d := range in.s.Delays {
+		if matchLink(d.From, d.To, from, to) && d.Contains(t) {
+			v.ExtraDelay += d.Extra
+		}
+	}
+	if v.ExtraDelay > 0 {
+		in.stats.Delayed++
+	}
+	return v
+}
+
+// DeadDrop records a message dropped because its receiver was crashed.
+func (in *Injector) DeadDrop() { in.stats.DeadDrops++ }
+
+// CrashExecuted records a worker kill performed by the harness.
+func (in *Injector) CrashExecuted() { in.stats.Crashes++ }
+
+// RestartExecuted records a worker restart performed by the harness.
+func (in *Injector) RestartExecuted() { in.stats.Restarts++ }
+
+// BrokerDown reports whether a broker outage window covers t.
+func (in *Injector) BrokerDown(t float64) bool {
+	if in.s == nil {
+		return false
+	}
+	for _, o := range in.s.Outages {
+		if o.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Crashes returns the schedule's crash list (nil for a nil schedule).
+func (in *Injector) Crashes() []Crash {
+	if in.s == nil {
+		return nil
+	}
+	return in.s.Crashes
+}
+
+// CheckpointPeriod returns the schedule's checkpoint period (0 for none).
+func (in *Injector) CheckpointPeriod() float64 {
+	if in.s == nil {
+		return 0
+	}
+	return in.s.CheckpointPeriod
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats { return in.stats }

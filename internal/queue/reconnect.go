@@ -1,0 +1,243 @@
+package queue
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ReconnectConfig tunes ReconnectingClient's backoff behavior. The zero
+// value selects the documented defaults.
+type ReconnectConfig struct {
+	// InitialBackoff is the first retry delay (default 50ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction so a fleet of
+	// clients does not stampede a restarting broker (default 0.2).
+	Jitter float64
+	// MaxAttempts bounds the dial attempts per operation; 0 retries until
+	// the client is closed.
+	MaxAttempts int
+}
+
+func (c ReconnectConfig) withDefaults() ReconnectConfig {
+	if c.InitialBackoff <= 0 {
+		c.InitialBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.2
+	}
+	return c
+}
+
+// ReconnectingClient wraps Client with transparent reconnection: when an
+// operation fails on a broken connection it redials the broker with
+// exponential backoff plus jitter and retries, and subscriptions
+// re-subscribe on the new connection. A broker restart or transient TCP
+// failure therefore stalls callers instead of killing them — the recovery
+// posture production transports (e.g. gRPC channels) take. Note the
+// delivery guarantee stays at-most-once: frames in flight when the
+// connection died are gone.
+type ReconnectingClient struct {
+	addr string
+	cfg  ReconnectConfig
+
+	mu     sync.Mutex
+	c      *Client
+	closed bool
+	done   chan struct{}
+	subWG  sync.WaitGroup
+}
+
+// DialReconnecting returns a client for the broker at addr. The connection
+// is established lazily on first use, so the broker may come up after the
+// client does.
+func DialReconnecting(addr string, cfg ReconnectConfig) *ReconnectingClient {
+	return &ReconnectingClient{addr: addr, cfg: cfg.withDefaults(),
+		done: make(chan struct{})}
+}
+
+// client returns the live connection, dialing if needed.
+func (r *ReconnectingClient) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.c != nil {
+		return r.c, nil
+	}
+	c, err := Dial(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	r.c = c
+	return c, nil
+}
+
+// invalidate discards a connection that produced an error, unless a
+// concurrent operation already replaced it.
+func (r *ReconnectingClient) invalidate(c *Client) {
+	r.mu.Lock()
+	if r.c == c {
+		r.c = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// backoff sleeps for the jittered delay, aborting early on Close. It
+// returns the next delay.
+func (r *ReconnectingClient) backoff(d time.Duration) (time.Duration, error) {
+	j := 1 + r.cfg.Jitter*(2*rand.Float64()-1)
+	select {
+	case <-time.After(time.Duration(float64(d) * j)):
+	case <-r.done:
+		return d, ErrClosed
+	}
+	d *= 2
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	return d, nil
+}
+
+// do runs op against the current connection, redialing and retrying on
+// connection errors. Errors that are protocol answers rather than broken
+// pipes (ErrTimeout) pass straight through.
+func (r *ReconnectingClient) do(op func(*Client) error) error {
+	delay := r.cfg.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		c, err := r.client()
+		if err == nil {
+			err = op(c)
+			if err == nil || errors.Is(err, ErrTimeout) {
+				return err
+			}
+			r.invalidate(c)
+		} else if errors.Is(err, ErrClosed) {
+			return err
+		}
+		if r.cfg.MaxAttempts > 0 && attempt >= r.cfg.MaxAttempts {
+			return err
+		}
+		if delay, err = r.backoff(delay); err != nil {
+			return err
+		}
+	}
+}
+
+// Publish sends payload to all subscribers of channel.
+func (r *ReconnectingClient) Publish(channel string, payload []byte) error {
+	return r.do(func(c *Client) error { return c.Publish(channel, payload) })
+}
+
+// LPush appends payload to the named list.
+func (r *ReconnectingClient) LPush(key string, payload []byte) error {
+	return r.do(func(c *Client) error { return c.LPush(key, payload) })
+}
+
+// BRPop blocks until an element is available on key or timeout elapses,
+// reconnecting across broker restarts. The server-side wait restarts from
+// zero after each reconnect, so with a flapping broker the total wait can
+// exceed timeout.
+func (r *ReconnectingClient) BRPop(key string, timeout time.Duration) ([]byte, error) {
+	var out []byte
+	err := r.do(func(c *Client) error {
+		p, err := c.BRPop(key, timeout)
+		if err == nil {
+			out = p
+		}
+		return err
+	})
+	return out, err
+}
+
+// Subscribe returns a channel of payloads published to channel. Unlike
+// Client.Subscribe, the stream survives broker restarts: when the
+// underlying subscription connection drops, the client resubscribes with
+// backoff and keeps the same receive channel. The channel closes only when
+// the client is closed. Messages published while disconnected are lost
+// (PUB/SUB semantics, as with Redis).
+func (r *ReconnectingClient) Subscribe(channel string, buf int) (<-chan []byte, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if buf < 1 {
+		buf = 64
+	}
+	out := make(chan []byte, buf)
+	r.subWG.Add(1)
+	r.mu.Unlock()
+	go r.subscribeLoop(channel, buf, out)
+	return out, nil
+}
+
+func (r *ReconnectingClient) subscribeLoop(channel string, buf int, out chan []byte) {
+	defer r.subWG.Done()
+	defer close(out)
+	delay := r.cfg.InitialBackoff
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		c, err := r.client()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			if delay, err = r.backoff(delay); err != nil {
+				return
+			}
+			continue
+		}
+		in, err := c.Subscribe(channel, buf)
+		if err != nil {
+			r.invalidate(c)
+			if delay, err = r.backoff(delay); err != nil {
+				return
+			}
+			continue
+		}
+		delay = r.cfg.InitialBackoff // connected: reset the backoff ladder
+		for p := range in {
+			select {
+			case out <- p:
+			case <-r.done:
+				return
+			}
+		}
+		// in closed: the subscription connection dropped; resubscribe.
+	}
+}
+
+// Close tears down the client; all subscription channels close and pending
+// operations return ErrClosed.
+func (r *ReconnectingClient) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.subWG.Wait()
+		return nil
+	}
+	r.closed = true
+	close(r.done)
+	c := r.c
+	r.c = nil
+	r.mu.Unlock()
+	var err error
+	if c != nil {
+		err = c.Close()
+	}
+	r.subWG.Wait()
+	return err
+}

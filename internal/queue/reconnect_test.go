@@ -1,0 +1,295 @@
+package queue
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func fastReconnect() ReconnectConfig {
+	return ReconnectConfig{
+		InitialBackoff: 5 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+	}
+}
+
+func serveBroker(t *testing.T, b *Broker, addr string) *Server {
+	t.Helper()
+	var srv *Server
+	var err error
+	// re-binding the freed port can momentarily race the old listener
+	for i := 0; i < 50; i++ {
+		srv, err = Serve(b, addr)
+		if err == nil {
+			return srv
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("rebind %s: %v", addr, err)
+	return nil
+}
+
+func TestReconnectingClientSurvivesBrokerRestart(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	srv := serveBroker(t, b, "127.0.0.1:0")
+	addr := srv.Addr()
+
+	c := DialReconnecting(addr, fastReconnect())
+	defer c.Close()
+	if err := c.LPush("k", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := c.BRPop("k", time.Second); err != nil || string(p) != "one" {
+		t.Fatalf("BRPop before restart: %q, %v", p, err)
+	}
+
+	srv.Close() // broker process dies; the broker state itself survives
+	srv2 := serveBroker(t, b, addr)
+	defer srv2.Close()
+
+	// The same client must recover without any explicit redial. A write
+	// into the dead socket can be silently buffered by the kernel before
+	// the RST arrives (delivery is at-most-once), so prove reconnection
+	// with a round-trip first: this BRPop detects the broken connection,
+	// redials, and times out cleanly against the fresh broker.
+	if _, err := c.BRPop("k", 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("BRPop across restart: %v, want timeout", err)
+	}
+	if err := c.LPush("k", []byte("two")); err != nil {
+		t.Fatalf("LPush after restart: %v", err)
+	}
+	if p, err := c.BRPop("k", time.Second); err != nil || string(p) != "two" {
+		t.Fatalf("BRPop after restart: %q, %v", p, err)
+	}
+}
+
+func TestReconnectingClientLazyDial(t *testing.T) {
+	// reserve an address nothing is listening on yet
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := DialReconnecting(addr, fastReconnect())
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- c.LPush("k", []byte("early")) }()
+
+	// the broker comes up after the client started pushing
+	time.Sleep(30 * time.Millisecond)
+	b := NewBroker()
+	defer b.Close()
+	srv := serveBroker(t, b, addr)
+	defer srv.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("LPush through lazy dial: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("LPush never recovered after the broker came up")
+	}
+	if p, err := c.BRPop("k", time.Second); err != nil || string(p) != "early" {
+		t.Fatalf("BRPop: %q, %v", p, err)
+	}
+}
+
+func TestReconnectingSubscribeResubscribes(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	srv := serveBroker(t, b, "127.0.0.1:0")
+	addr := srv.Addr()
+
+	c := DialReconnecting(addr, fastReconnect())
+	defer c.Close()
+	sub, err := c.Subscribe("ch", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub := DialReconnecting(addr, fastReconnect())
+	defer pub.Close()
+
+	recvOne := func(stage string) {
+		deadline := time.After(5 * time.Second)
+		for {
+			// publish repeatedly: PUB/SUB drops messages sent while the
+			// subscriber is (re)connecting
+			if err := pub.Publish("ch", []byte(stage)); err != nil {
+				t.Fatalf("%s publish: %v", stage, err)
+			}
+			select {
+			case p, ok := <-sub:
+				if !ok {
+					t.Fatalf("%s: subscription channel closed", stage)
+				}
+				if string(p) == stage {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("%s: nothing received", stage)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	recvOne("before")
+	srv.Close()
+	srv2 := serveBroker(t, b, addr)
+	defer srv2.Close()
+	recvOne("after") // the same channel must deliver again post-restart
+}
+
+func TestReconnectingClientMaxAttempts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastReconnect()
+	cfg.MaxAttempts = 3
+	c := DialReconnecting(addr, cfg)
+	defer c.Close()
+	start := time.Now()
+	if err := c.LPush("k", []byte("x")); err == nil {
+		t.Fatal("LPush to a dead address with MaxAttempts must fail")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("bounded retries took too long — backoff not bounded?")
+	}
+}
+
+func TestReconnectingClientCloseUnblocks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := DialReconnecting(addr, fastReconnect())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.BRPop("k", 0) // retries forever against a dead address
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("BRPop should fail after Close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not unblock the retry loop")
+	}
+}
+
+// TestSubscribeSlowConsumerClose: a subscriber that never drains its
+// channel must not wedge Close — the reader goroutine used to block on the
+// channel send forever, so Close hung on subWait.Wait().
+func TestSubscribeSlowConsumerClose(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe("ch", 1); err != nil { // deliberately never read
+		t.Fatal(err)
+	}
+	// overflow the 1-slot client buffer so the reader goroutine is blocked
+	// mid-send when Close arrives
+	pub, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 16; i++ {
+		if err := pub.Publish("ch", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond) // let the frames reach the reader
+
+	closed := make(chan struct{})
+	go func() {
+		c.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a slow consumer")
+	}
+}
+
+// TestServerSurvivesClientVanishingMidBRPop: a client that disappears while
+// its BRPop is parked server-side must not wedge the server — Close has to
+// finish promptly and other clients keep working.
+func TestServerSurvivesClientVanishingMidBRPop(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	popErr := make(chan error, 1)
+	go func() {
+		_, err := c.BRPop("empty", 0) // blocks server-side forever
+		popErr <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // request reaches the broker wait
+
+	// the client dies abruptly mid-BRPop
+	if err := c.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	if err := <-popErr; err == nil {
+		t.Fatal("BRPop should fail when its connection dies")
+	}
+
+	// the server must still serve fresh clients...
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LPush("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := c2.BRPop("k", time.Second); err != nil || string(p) != "v" {
+		t.Fatalf("BRPop on healthy client: %q, %v", p, err)
+	}
+	c2.Close()
+
+	// ...and shut down promptly despite the vanished waiter
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close hung after abrupt client disconnect")
+	}
+}

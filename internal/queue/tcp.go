@@ -266,6 +266,7 @@ type Client struct {
 	subMu   sync.Mutex
 	subs    []net.Conn
 	closed  bool
+	done    chan struct{} // closed by Close; unblocks slow-consumer sends
 	subWait sync.WaitGroup
 }
 
@@ -275,7 +276,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{addr: addr, conn: conn,
+	return &Client{addr: addr, conn: conn, done: make(chan struct{}),
 		r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
@@ -375,7 +376,15 @@ func (c *Client) Subscribe(channel string, buf int) (<-chan []byte, error) {
 			if _, err := io.ReadFull(r, payload); err != nil {
 				return
 			}
-			out <- payload
+			// A slow (or absent) consumer must not wedge this goroutine on
+			// the channel send: it would never return to the read loop, so
+			// it would never observe the closed connection and Close would
+			// hang forever on subWait.Wait. The done channel breaks the tie.
+			select {
+			case out <- payload:
+			case <-c.done:
+				return
+			}
 		}
 	}()
 	return out, nil
@@ -387,7 +396,13 @@ func (c *Client) Subscribe(channel string, buf int) (<-chan []byte, error) {
 // closing the connection is what unblocks it.
 func (c *Client) Close() error {
 	c.subMu.Lock()
+	if c.closed {
+		c.subMu.Unlock()
+		c.subWait.Wait()
+		return nil
+	}
 	c.closed = true
+	close(c.done)
 	for _, s := range c.subs {
 		s.Close()
 	}

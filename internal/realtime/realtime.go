@@ -9,6 +9,7 @@ package realtime
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"dlion/internal/core"
@@ -56,7 +57,20 @@ type Node struct {
 
 	evStart  time.Time // when the currently-executing event began
 	profiled [][2][]float64
+
+	// Per-peer FIFO senders: outbound messages to one peer are serialized
+	// through a single goroutine so a stale weight snapshot can never
+	// overtake a fresher one (goroutine-per-message made delivery order a
+	// scheduler lottery). The queues are bounded; when one fills, the
+	// oldest message is dropped, like a congested link's tail-drop — fresh
+	// state is worth more than stale state.
+	sendMu  sync.Mutex
+	senders map[int]chan []byte
+	done    chan struct{} // closed when Run exits; stops the senders
 }
+
+// sendQueueDepth bounds each per-peer outbound queue.
+const sendQueueDepth = 256
 
 // realEnv adapts the Node to core.Env.
 type realEnv struct{ n *Node }
@@ -110,13 +124,51 @@ func (e realEnv) ProfileCompute(_ int, batches []int) (x, y []float64) {
 }
 
 func (e realEnv) Send(_, to int, m *wire.Message) {
-	payload := wire.Encode(m)
-	go func() {
-		if err := e.n.cfg.Transport.Send(to, payload); err != nil {
-			// transport closed: drop, like a partitioned link
+	e.n.enqueue(to, wire.Encode(m))
+}
+
+// enqueue hands payload to the destination's FIFO sender, spawning it on
+// first use. Called only from the event-loop goroutine.
+func (n *Node) enqueue(to int, payload []byte) {
+	n.sendMu.Lock()
+	ch := n.senders[to]
+	if ch == nil {
+		ch = make(chan []byte, sendQueueDepth)
+		n.senders[to] = ch
+		go n.sendLoop(to, ch)
+	}
+	n.sendMu.Unlock()
+	for {
+		select {
+		case ch <- payload:
 			return
+		default:
+			// full: shed the oldest queued message and retry
+			select {
+			case <-ch:
+			default:
+			}
 		}
-	}()
+	}
+}
+
+// sendLoop drains one peer's queue. Like the receive pump, it can outlive
+// Run while blocked inside Transport.Send (e.g. a reconnecting transport
+// retrying against a dead broker); the owner's Transport.Close unblocks
+// that send, after which the closed done channel retires the loop. Run
+// must NOT wait on sendLoops — the caller only closes the transport after
+// Run returns, so waiting here would deadlock the shutdown.
+func (n *Node) sendLoop(to int, ch chan []byte) {
+	for {
+		select {
+		case <-n.done:
+			return
+		case p := <-ch:
+			if err := n.cfg.Transport.Send(to, p); err != nil {
+				continue // transport closed or link down: drop, like a partitioned link
+			}
+		}
+	}
 }
 
 // NewNode builds a node and its worker. The model replica is built from
@@ -125,7 +177,8 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Transport == nil {
 		return nil, fmt.Errorf("realtime: nil transport")
 	}
-	n := &Node{cfg: cfg, loop: make(chan func(), 1024)}
+	n := &Node{cfg: cfg, loop: make(chan func(), 1024),
+		senders: map[int]chan []byte{}, done: make(chan struct{})}
 	w, err := core.New(cfg.ID, cfg.System, cfg.Spec.Build(), cfg.Shard, realEnv{n})
 	if err != nil {
 		return nil, err
@@ -142,6 +195,7 @@ func (n *Node) Worker() *core.Worker { return n.worker }
 // goroutine.
 func (n *Node) Run(ctx context.Context) error {
 	n.start = time.Now()
+	defer close(n.done) // stop the per-peer senders; Run is one-shot
 
 	// receive pump: decode and forward into the loop
 	recvErr := make(chan error, 1)

@@ -113,8 +113,14 @@ func TestRealModeTCPBroker(t *testing.T) {
 		return tr
 	}, budget(2*time.Second))
 	for i, nd := range nodes {
-		if nd.Worker().Stats().Iters < 1 {
+		s := nd.Worker().Stats()
+		if s.Iters < 1 {
 			t.Fatalf("node %d made no progress", i)
+		}
+		// delivery, not just submission: a transport that wedges its sends
+		// behind its own blocking pop passes every send-side assertion
+		if s.MsgsRecvd == 0 {
+			t.Fatalf("node %d never received a message over TCP", i)
 		}
 	}
 }

@@ -40,30 +40,45 @@ func (t *BrokerTransport) Close() error {
 }
 
 // ClientTransport connects a node to a TCP broker (cmd/dlion-broker), for
-// workers running as separate processes.
+// workers running as separate processes. It rides ReconnectingClients, so
+// a broker restart or transient TCP failure stalls the node's traffic and
+// then recovers instead of killing the node: Send retries with backoff and
+// Recv resumes its blocking pop on the new connection.
+//
+// Sends and receives use separate connections. A Client serializes its
+// requests on one conn, and the receive side parks a blocking BRPop there
+// indefinitely — sharing it would wedge every LPush behind the pop (and
+// with every node wedged the same way, no message would ever flow at all).
+// Dedicated connections for blocking pops are standard Redis practice for
+// the same reason.
 type ClientTransport struct {
-	c  *queue.Client
-	id int
+	send *queue.ReconnectingClient
+	recv *queue.ReconnectingClient
+	id   int
 }
 
-// NewClientTransport dials the broker at addr for worker id.
+// NewClientTransport builds a transport for worker id against the broker
+// at addr. The connections are established lazily, so the broker may come
+// up after the worker. The error return is kept for call-site
+// compatibility and future eager-dial policies; it is currently always nil.
 func NewClientTransport(addr string, id int) (*ClientTransport, error) {
-	c, err := queue.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	return &ClientTransport{c: c, id: id}, nil
+	return &ClientTransport{
+		send: queue.DialReconnecting(addr, queue.ReconnectConfig{}),
+		recv: queue.DialReconnecting(addr, queue.ReconnectConfig{}),
+		id:   id,
+	}, nil
 }
 
 // Send implements Transport.
 func (t *ClientTransport) Send(to int, payload []byte) error {
-	return t.c.LPush(DataKey(to), payload)
+	return t.send.LPush(DataKey(to), payload)
 }
 
-// Recv implements Transport.
+// Recv implements Transport. It blocks across broker outages and returns
+// an error only once the transport itself is closed.
 func (t *ClientTransport) Recv() ([]byte, error) {
 	for {
-		p, err := t.c.BRPop(DataKey(t.id), 0)
+		p, err := t.recv.BRPop(DataKey(t.id), 0)
 		if errors.Is(err, queue.ErrTimeout) {
 			continue
 		}
@@ -72,4 +87,10 @@ func (t *ClientTransport) Recv() ([]byte, error) {
 }
 
 // Close implements Transport.
-func (t *ClientTransport) Close() error { return t.c.Close() }
+func (t *ClientTransport) Close() error {
+	sendErr := t.send.Close()
+	if err := t.recv.Close(); err != nil {
+		return err
+	}
+	return sendErr
+}
