@@ -2,7 +2,7 @@
 # The -race pass covers the concurrency-heavy packages (TCP broker,
 # reconnecting client, real-mode runtime); running it repo-wide would
 # multiply simulation test time ~20x for no extra coverage.
-.PHONY: check build vet test race
+.PHONY: check build vet test race bench
 
 check: build vet test race
 
@@ -17,3 +17,9 @@ test:
 
 race:
 	go test -race ./internal/queue/... ./internal/realtime/...
+
+# Kernel microbenchmarks, emitted as a BENCH JSON report (see METRICS.md).
+bench:
+	go test -run='^$$' -bench=. -benchmem \
+		./internal/tensor/... ./internal/nn/... ./internal/wire/... \
+		| go run ./cmd/dlion-benchfmt -out BENCH_kernels.json

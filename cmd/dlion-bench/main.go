@@ -9,6 +9,7 @@
 //	dlion-bench -profile std    # paper-style 3-run averaging, longer horizon
 //	dlion-bench -list           # list experiment ids
 //	dlion-bench -out report.md  # also write a markdown report
+//	dlion-bench -json bench.json  # also write a BENCH JSON report (METRICS.md)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"dlion/internal/experiments"
+	"dlion/internal/obs"
 )
 
 func main() {
@@ -27,8 +29,20 @@ func main() {
 		profile = flag.String("profile", "fast", "profile: fast or std")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		out     = flag.String("out", "", "also write a markdown report to this file")
+		jsonOut = flag.String("json", "", "also write a BENCH JSON report (METRICS.md schema) to this file")
+		dbgAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address while running")
 	)
 	flag.Parse()
+
+	if *dbgAddr != "" {
+		dbg, err := obs.ServeDebug(*dbgAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlion-bench:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Println("debug server on", dbg.Addr())
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -65,6 +79,12 @@ func main() {
 	fmt.Fprintf(&md, "Profile: %s, data scale %.3g, horizon %.0f virtual s, %d run(s) per point.\n\n",
 		*profile, p.DataScale, p.Horizon, p.Runs)
 
+	jr := obs.NewReport("experiments", "dlion-bench/"+*profile)
+	jr.Config = map[string]any{
+		"profile": *profile, "data_scale": p.DataScale,
+		"horizon": p.Horizon, "runs": p.Runs,
+	}
+
 	failed := 0
 	for _, e := range todo {
 		start := time.Now()
@@ -74,8 +94,12 @@ func main() {
 			failed++
 			fmt.Printf("ERROR: %v\n\n", err)
 			fmt.Fprintf(&md, "## %s — %s\n\nERROR: %v\n\n", e.ID, e.Title, err)
+			jr.Experiments = append(jr.Experiments, obs.ExperimentReport{
+				ID: e.ID, Title: e.Title, Notes: []string{"ERROR: " + err.Error()}})
 			continue
 		}
+		jr.Experiments = append(jr.Experiments, obs.ExperimentReport{
+			ID: e.ID, Title: e.Title, Values: o.Values, Notes: o.Notes})
 		fmt.Println(o.Text)
 		for _, note := range o.Notes {
 			fmt.Println("note:", note)
@@ -94,6 +118,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("report written to", *out)
+	}
+	if *jsonOut != "" {
+		if err := jr.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "write json report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("json report written to", *jsonOut)
 	}
 	if failed > 0 {
 		os.Exit(1)

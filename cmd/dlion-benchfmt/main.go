@@ -1,0 +1,67 @@
+// Command dlion-benchfmt converts `go test -bench` output into the BENCH
+// JSON report format documented in METRICS.md. It reads the benchmark run
+// from stdin, echoes every line so the run stays visible, and writes a
+// "kernel-bench" report to -out.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/tensor/... | dlion-benchfmt -out BENCH_kernels.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dlion/internal/obs"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_kernels.json", "output file for the kernel-bench JSON report")
+		name = flag.String("name", "kernels", "report name")
+	)
+	flag.Parse()
+
+	// Tee stdin: echo to stdout while ParseGoBench scans for benchmark lines.
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	var results []obs.BenchResult
+	var parseErr error
+	go func() {
+		defer close(done)
+		results, parseErr = obs.ParseGoBench(pr)
+	}()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		fmt.Fprintln(pw, line)
+	}
+	pw.Close()
+	<-done
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if parseErr != nil {
+		fatal(parseErr)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	r := obs.NewReport("kernel-bench", *name)
+	r.Benchmarks = results
+	if err := r.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlion-benchfmt:", err)
+	os.Exit(1)
+}

@@ -13,14 +13,27 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dlion/internal/obs"
 	"dlion/internal/queue"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6399", "listen address")
+	dbgAddr := flag.String("debug-addr", "", "serve pprof + expvar on this address (see METRICS.md)")
 	flag.Parse()
 
 	b := queue.NewBroker()
+	if *dbgAddr != "" {
+		reg := obs.NewRegistry()
+		b.SetMetrics(reg)
+		dbg, err := obs.ServeDebug(*dbgAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlion-broker:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Println("debug server on", dbg.Addr())
+	}
 	srv, err := queue.Serve(b, *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dlion-broker:", err)

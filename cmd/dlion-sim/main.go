@@ -5,6 +5,8 @@
 //
 //	dlion-sim -system dlion -env "Hetero SYS A" -horizon 300
 //	dlion-sim -system baseline -env "Homo A" -scale 0.05 -trace
+//	dlion-sim -report run.json            # emit the BENCH JSON run report
+//	dlion-sim -debug-addr 127.0.0.1:6060  # pprof while the run executes
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"dlion/internal/data"
 	"dlion/internal/env"
 	"dlion/internal/nn"
+	"dlion/internal/obs"
 	"dlion/internal/report"
 	"dlion/internal/systems"
 )
@@ -31,8 +34,19 @@ func main() {
 		amplify = flag.Float64("amplify", 5, "wire-size amplification (see DESIGN.md)")
 		dktp    = flag.Int64("dkt-period", 10, "DLion DKT period in iterations (scaled)")
 		envs    = flag.Bool("envs", false, "list environments and exit")
+		repOut  = flag.String("report", "", "write a BENCH JSON run report (METRICS.md schema) to this file")
+		dbgAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address while running")
 	)
 	flag.Parse()
+
+	if *dbgAddr != "" {
+		dbg, err := obs.ServeDebug(*dbgAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Println("debug server on", dbg.Addr())
+	}
 
 	if *envs {
 		for _, n := range env.Names() {
@@ -69,6 +83,7 @@ func main() {
 	if *trace {
 		cfg.TracePeriod = *horizon / 30
 	}
+	cfg.Observe = *repOut != ""
 	fmt.Printf("running %s in %s for %.0f virtual seconds (%s, %d train samples)\n",
 		sys.Name, e.Name, *horizon, dc.Name, dc.Train)
 	res, err := cluster.Run(cfg)
@@ -95,6 +110,51 @@ func main() {
 		}
 		fmt.Println(tt)
 	}
+	if *repOut != "" {
+		r := buildReport(res, *sysName, *envName, *horizon, *scale, *amplify, *seed)
+		if err := r.WriteFile(*repOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println("run report written to", *repOut)
+	}
+}
+
+// buildReport assembles the BENCH JSON run report (METRICS.md "sim-run"
+// kind) from a finished simulation: per-worker phase breakdown, transport
+// counters, accuracy timeline, and headline summary.
+func buildReport(res *cluster.Result, sysName, envName string,
+	horizon, scale, amplify float64, seed uint64) *obs.Report {
+	r := obs.NewReport("sim-run", sysName+"/"+envName)
+	r.Config = map[string]any{
+		"system": sysName, "env": envName, "horizon": horizon,
+		"scale": scale, "amplify": amplify, "seed": seed,
+	}
+	r.Workers = res.Obs
+	r.Counters = map[string]int64{
+		"net.delivered_bytes":   res.TotalBytes,
+		"fault.partition_drops": res.Faults.Partitioned,
+		"fault.loss_drops":      res.Faults.Lost,
+		"fault.corrupt_drops":   res.Faults.Corrupted,
+		"fault.dead_drops":      res.Faults.DeadDrops,
+		"fault.crashes":         res.Faults.Crashes,
+		"fault.restarts":        res.Faults.Restarts,
+	}
+	for _, pt := range res.Timeline {
+		r.Timeline = append(r.Timeline, obs.TimelinePoint{
+			T: pt.T, MeanAcc: pt.Mean, StdAcc: pt.Std, Loss: pt.Loss})
+	}
+	var iters int64
+	for _, it := range res.Iters {
+		iters += it
+	}
+	r.Summary = map[string]float64{
+		"final_acc":       res.Timeline.FinalMean(),
+		"best_acc":        res.Timeline.BestMean(),
+		"final_deviation": res.Timeline.FinalDeviation(),
+		"total_iters":     float64(iters),
+		"delivered_mb":    float64(res.TotalBytes) / (1 << 20),
+	}
+	return r
 }
 
 func fatal(err error) {

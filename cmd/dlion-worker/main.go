@@ -19,6 +19,7 @@ import (
 
 	"dlion/internal/data"
 	"dlion/internal/nn"
+	"dlion/internal/obs"
 	"dlion/internal/realtime"
 	"dlion/internal/systems"
 )
@@ -32,6 +33,7 @@ func main() {
 		seed     = flag.Uint64("seed", 7, "shared cluster seed")
 		scale    = flag.Float64("scale", 0.02, "dataset scale")
 		duration = flag.Duration("duration", 30*time.Second, "training duration")
+		dbgAddr  = flag.String("debug-addr", "", "serve pprof + expvar on this address (see METRICS.md)")
 	)
 	flag.Parse()
 
@@ -62,8 +64,30 @@ func main() {
 		fatal(err)
 	}
 	defer tr.Close()
+
+	// Observability: with -debug-addr set the worker traces its phase
+	// breakdown and counters and serves them on /debug/vars next to pprof.
+	var (
+		sink *obs.WorkerObs
+		reg  *obs.Registry
+	)
+	if *dbgAddr != "" {
+		sink = obs.NewWorkerObs()
+		reg = obs.NewRegistry()
+		tr.SetMetrics(reg)
+		dbg, err := obs.ServeDebug(*dbgAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		workerID := *id
+		obs.Publish("dlion.worker", func() any { return sink.Snapshot(workerID) })
+		fmt.Println("debug server on", dbg.Addr())
+	}
+
 	node, err := realtime.NewNode(realtime.Config{
 		ID: *id, N: *n, System: sys, Spec: spec, Shard: shards[*id], Transport: tr,
+		Obs: sink, Metrics: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -92,6 +116,16 @@ func main() {
 	s := node.Worker().Stats()
 	fmt.Printf("done: %d iterations, %d samples, final loss %.3f\n",
 		s.Iters, s.SamplesProcessed, node.Worker().AvgRecentLoss())
+	if sink != nil {
+		w := sink.Snapshot(*id)
+		fmt.Printf("phases: compute %.2fs serialize %.2fs send %.2fs recv-wait %.2fs apply %.2fs\n",
+			w.Phases["compute"], w.Phases["serialize"], w.Phases["send"],
+			w.Phases["recv_wait"], w.Phases["apply"])
+		fmt.Printf("bytes: gradient %d/%d weights %d/%d control %d/%d (sent/recvd)\n",
+			w.SentBytes["gradient"], w.RecvBytes["gradient"],
+			w.SentBytes["weights"], w.RecvBytes["weights"],
+			w.SentBytes["control"], w.RecvBytes["control"])
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,32 @@
+package cluster
+
+// The worker-loop benchmark pair backing the observability design claim:
+// with Observe off, every instrumentation point sees a nil sink and the
+// run must show no measurable regression against the pre-obs seed; the
+// Observed variant prices the enabled path. Compare with:
+//
+//	go test -bench=SimRun -benchtime=3x ./internal/cluster
+
+import (
+	"testing"
+
+	"dlion/internal/systems"
+)
+
+func benchmarkRun(b *testing.B, observe bool) {
+	cfg := tinyConfig(systems.DLion())
+	cfg.Observe = observe
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Timeline.FinalMean() <= 0 {
+			b.Fatal("run learned nothing")
+		}
+	}
+}
+
+func BenchmarkSimRun(b *testing.B)         { benchmarkRun(b, false) }
+func BenchmarkSimRunObserved(b *testing.B) { benchmarkRun(b, true) }

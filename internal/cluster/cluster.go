@@ -13,6 +13,7 @@ import (
 	"dlion/internal/fault"
 	"dlion/internal/metrics"
 	"dlion/internal/nn"
+	"dlion/internal/obs"
 	"dlion/internal/simclock"
 	"dlion/internal/simcompute"
 	"dlion/internal/simnet"
@@ -40,6 +41,12 @@ type Config struct {
 	// runs fault-free. Crashed workers are restored from the schedule's
 	// periodic checkpoints and re-synced from the freshest live peer.
 	Faults *fault.Schedule
+
+	// Observe attaches a per-worker observability sink (internal/obs) and
+	// charges the virtual-time phase breakdown — compute, serialize, send,
+	// recv-wait — as the run executes. Off by default: the instrumentation
+	// points then see nil sinks and cost one branch each (see METRICS.md).
+	Observe bool
 
 	Seed uint64
 }
@@ -70,6 +77,11 @@ type Result struct {
 	// Faults snapshots the fault-injection counters (zero when no schedule
 	// was configured).
 	Faults fault.Stats
+
+	// Obs holds one phase/transfer breakdown per worker when Config.Observe
+	// was set (nil otherwise). The records follow the METRICS.md schema and
+	// drop straight into an obs.Report's workers section.
+	Obs []obs.WorkerReport
 
 	// Models exposes the final model replicas (inspection and tests).
 	Models []*nn.Model
@@ -112,7 +124,8 @@ type simEnv struct {
 	wireScale float64
 	egress    []float64 // per worker: time its NIC is busy until
 	sentBytes int64
-	ckpts     [][]byte // latest checkpoint per worker (crash recovery)
+	ckpts     [][]byte         // latest checkpoint per worker (crash recovery)
+	obs       []*obs.WorkerObs // per-worker sinks; nil when Observe is off
 }
 
 func (e *simEnv) SendScale() float64           { return e.wireScale }
@@ -165,6 +178,11 @@ func (e *simEnv) Send(from, to int, m *wire.Message) {
 	}
 	ser := bytes * 8 / (bw * 1e6)
 	e.egress[from] = start + ser
+	if e.obs != nil {
+		// Virtual-time phase charges: egress serialization (including any
+		// wait for the shared NIC) and in-flight propagation.
+		e.obs[from].AddPhase(obs.PhaseSerialize, start+ser-now)
+	}
 	if !v.Deliver {
 		return // lost or corrupted in flight: egress was spent, nothing arrives
 	}
@@ -173,6 +191,9 @@ func (e *simEnv) Send(from, to int, m *wire.Message) {
 		rtt = l.RTT
 	}
 	arrival := start + ser + rtt/2 + v.ExtraDelay
+	if e.obs != nil {
+		e.obs[from].AddPhase(obs.PhaseSend, arrival-(start+ser))
+	}
 	e.eng.At(arrival, func() {
 		if e.workers[to].Stopped() {
 			e.inj.DeadDrop()
@@ -218,10 +239,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	env.workers = make([]*core.Worker, cfg.N)
+	if cfg.Observe {
+		env.obs = make([]*obs.WorkerObs, cfg.N)
+		for i := range env.obs {
+			env.obs[i] = obs.NewWorkerObs()
+		}
+	}
 	for i := range env.workers {
 		w, err := core.New(i, cfg.System, models[i], shards[i], env)
 		if err != nil {
 			return nil, err
+		}
+		if env.obs != nil {
+			w.SetObs(env.obs[i])
 		}
 		env.workers[i] = w
 	}
@@ -270,9 +300,14 @@ func Run(cfg Config) (*Result, error) {
 		evaluate()
 		res.Timeline[len(res.Timeline)-1].T = cfg.Horizon
 	}
-	for _, w := range env.workers {
+	for i, w := range env.workers {
 		res.Stats = append(res.Stats, w.Stats())
 		res.Iters = append(res.Iters, w.Iter())
+		if env.obs != nil {
+			wr := env.obs[i].Snapshot(i)
+			wr.Iters = w.Iter()
+			res.Obs = append(res.Obs, wr)
+		}
 	}
 	res.TotalBytes = env.sentBytes
 	res.Faults = env.inj.Stats()

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+
+	"dlion/internal/systems"
+)
+
+// TestObserveCollectsBreakdown runs a small observed simulation and checks
+// the per-worker phase breakdown and transfer counters land in Result.Obs
+// with the invariants the METRICS.md schema promises.
+func TestObserveCollectsBreakdown(t *testing.T) {
+	cfg := tinyConfig(systems.DLion())
+	cfg.Observe = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Obs) != cfg.N {
+		t.Fatalf("obs records: %d, want %d", len(res.Obs), cfg.N)
+	}
+	for i, w := range res.Obs {
+		if w.ID != i || w.Iters != res.Iters[i] {
+			t.Fatalf("worker %d header: %+v", i, w)
+		}
+		if w.Phases["compute"] <= 0 {
+			t.Fatalf("worker %d: no compute time recorded", i)
+		}
+		if w.Phases["serialize"] <= 0 {
+			t.Fatalf("worker %d: no serialize time recorded", i)
+		}
+		if w.Phases["send"] <= 0 {
+			t.Fatalf("worker %d: no send time recorded", i)
+		}
+		// Virtual phase time can never exceed the horizon per phase.
+		for name, sec := range w.Phases {
+			if sec < 0 || sec > cfg.Horizon*float64(cfg.N) {
+				t.Fatalf("worker %d: phase %s = %v out of range", i, name, sec)
+			}
+		}
+		if w.SentBytes["gradient"] <= 0 || w.SentMsgs["gradient"] <= 0 {
+			t.Fatalf("worker %d: no gradient traffic: %+v", i, w.SentBytes)
+		}
+		if w.RecvMsgs["gradient"] <= 0 {
+			t.Fatalf("worker %d: received no gradients", i)
+		}
+		// Sent bytes must match the worker's own byte counter across classes.
+		var total int64
+		for _, b := range w.SentBytes {
+			total += b
+		}
+		if total != res.Stats[i].BytesSent {
+			t.Fatalf("worker %d: class bytes %d != stats bytes %d",
+				i, total, res.Stats[i].BytesSent)
+		}
+	}
+}
+
+// TestObserveOffLeavesResultBare confirms the default path allocates no
+// sinks and reports no breakdown.
+func TestObserveOffLeavesResultBare(t *testing.T) {
+	res, err := Run(tinyConfig(systems.Baseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs != nil {
+		t.Fatalf("unobserved run produced obs records: %+v", res.Obs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"dlion/internal/data"
 	"dlion/internal/grad"
 	"dlion/internal/nn"
+	"dlion/internal/obs"
 	"dlion/internal/wire"
 )
 
@@ -95,6 +96,13 @@ type Worker struct {
 	recheckArmed bool // a sync-liveness recheck timer is pending
 
 	stats Stats
+
+	// Observability (nil = disabled, the zero-overhead fast path). The
+	// worker charges compute, apply, and recv-wait; the Env charges
+	// serialize and send, where those durations are known.
+	obs       *obs.WorkerObs
+	waitStart float64      // when the current sync block began
+	deadSeen  map[int]bool // peers already counted as liveness-expired
 }
 
 // New builds a worker. The model must be this worker's own replica; the
@@ -128,6 +136,7 @@ func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Work
 		lastSelCount: map[int]int{},
 		lastBudget:   map[int]int{},
 		trainSize:    trainSize,
+		deadSeen:     map[int]bool{},
 	}
 	return w, nil
 }
@@ -148,6 +157,25 @@ func (w *Worker) Model() *nn.Model { return w.model }
 
 // Stats returns a copy of the activity counters.
 func (w *Worker) Stats() Stats { return w.stats }
+
+// SetObs attaches an observability sink. Call before Start; a nil sink
+// (the default) keeps every instrumentation point a no-op.
+func (w *Worker) SetObs(o *obs.WorkerObs) { w.obs = o }
+
+// Obs returns the attached observability sink (nil when disabled).
+func (w *Worker) Obs() *obs.WorkerObs { return w.obs }
+
+// classOf buckets a message type for per-class byte accounting.
+func classOf(t wire.MsgType) obs.MsgClass {
+	switch t {
+	case wire.TypeGradient:
+		return obs.ClassGradient
+	case wire.TypeWeights:
+		return obs.ClassWeights
+	default:
+		return obs.ClassControl
+	}
+}
 
 // LastSelectedCount returns the number of gradient values sent to peer on
 // the most recent iteration (Figures 8 and 20).
@@ -217,6 +245,7 @@ func (w *Worker) Resume(syncPeer int) {
 	w.lossWin = nil
 	w.lastHeard = map[int]float64{}
 	w.peerLoss = map[int]float64{}
+	w.deadSeen = map[int]bool{}
 	w.waitingSync = false
 	if syncPeer >= 0 && syncPeer != w.ID {
 		w.rejoining = true
@@ -296,6 +325,10 @@ func (w *Worker) livePeers() []int {
 	for _, p := range peers {
 		if w.peerLive(p) {
 			live = append(live, p)
+		} else if w.obs != nil && !w.deadSeen[p] {
+			// first observation of this peer's liveness expiry
+			w.deadSeen[p] = true
+			w.obs.IncLivenessExpiry()
 		}
 	}
 	return live
@@ -305,8 +338,10 @@ func (w *Worker) livePeers() []int {
 func (w *Worker) LivePeers() []int { return w.livePeers() }
 
 func (w *Worker) send(m *wire.Message) {
+	wb := m.WireBytes()
 	w.stats.MsgsSent++
-	w.stats.BytesSent += int64(m.WireBytes())
+	w.stats.BytesSent += int64(wb)
+	w.obs.AddSent(classOf(m.Type), wb)
 	w.env.Send(w.ID, int(m.To), m)
 }
 
@@ -373,6 +408,7 @@ func (w *Worker) completeIteration() {
 	w.iter++
 	w.stats.Iters++
 	w.stats.SamplesProcessed += int64(w.lbs)
+	w.obs.AddPhase(obs.PhaseCompute, w.iterSec)
 	w.epochSamples += float64(w.gbs.GBSAt(w.env.Now(), w.epochsDone()))
 
 	// Local model update: own gradient with db = 1 (Eq. 7, j = k).
@@ -395,7 +431,16 @@ func (w *Worker) maybeStartNext() {
 		return
 	}
 	w.waitingSync = true
+	w.waitStart = w.env.Now()
+	w.obs.IncSyncBlock()
 	w.armSyncRecheck()
+}
+
+// unblockSync ends a sync wait, charging the blocked interval to the
+// recv-wait phase.
+func (w *Worker) unblockSync() {
+	w.waitingSync = false
+	w.obs.AddPhase(obs.PhaseRecvWait, w.env.Now()-w.waitStart)
 }
 
 func (w *Worker) armSyncRecheck() {
@@ -409,7 +454,7 @@ func (w *Worker) armSyncRecheck() {
 			return
 		}
 		if w.canProceed() {
-			w.waitingSync = false
+			w.unblockSync()
 			w.startIteration()
 			return
 		}
@@ -465,14 +510,18 @@ func (w *Worker) HandleMessage(m *wire.Message) {
 	from := int(m.From)
 	w.stats.MsgsRecvd++
 	w.lastHeard[from] = w.env.Now()
+	if w.obs != nil {
+		w.obs.AddRecv(classOf(m.Type), m.WireBytes())
+		delete(w.deadSeen, from) // peer is demonstrably alive again
+	}
 	switch m.Type {
 	case wire.TypeGradient:
 		if m.Iter > w.peerIter[from] {
 			w.peerIter[from] = m.Iter
 		}
-		w.applyRemoteGradient(m)
+		w.timedApply(func() { w.applyRemoteGradient(m) })
 		if w.waitingSync && w.canProceed() {
-			w.waitingSync = false
+			w.unblockSync()
 			w.startIteration()
 		}
 	case wire.TypeRCPReport:
@@ -491,8 +540,24 @@ func (w *Worker) HandleMessage(m *wire.Message) {
 			}
 			return
 		}
-		if err := w.model.MergeWeights(m.Weights, w.cfg.DKT.Lambda); err == nil {
-			w.stats.DKTMerges++
-		}
+		w.timedApply(func() {
+			if err := w.model.MergeWeights(m.Weights, w.cfg.DKT.Lambda); err == nil {
+				w.stats.DKTMerges++
+			}
+		})
 	}
+}
+
+// timedApply runs fn, charging its duration to the apply phase. The clock
+// is the Env's, so real mode records wall time while the simulator —
+// whose clock does not advance inside an event — records the phase as
+// free, consistent with its cost model (see METRICS.md).
+func (w *Worker) timedApply(fn func()) {
+	if w.obs == nil {
+		fn()
+		return
+	}
+	t0 := w.env.Now()
+	fn()
+	w.obs.AddPhase(obs.PhaseApply, w.env.Now()-t0)
 }

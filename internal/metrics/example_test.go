@@ -1,0 +1,44 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"dlion/internal/metrics"
+)
+
+// ExampleTimeline builds a short accuracy timeline and queries the §5.1.3
+// performance metrics: accuracy at a time budget, time to a target
+// accuracy, and the converged-accuracy plateau test.
+func ExampleTimeline() {
+	tl := metrics.Timeline{
+		metrics.NewPoint(0, []float64{0.10, 0.10}, 2.3),
+		metrics.NewPoint(60, []float64{0.48, 0.52}, 1.1),
+		metrics.NewPoint(120, []float64{0.70, 0.72}, 0.6),
+		metrics.NewPoint(180, []float64{0.71, 0.73}, 0.6),
+	}
+	fmt.Printf("final mean %.2f\n", tl.FinalMean())
+	fmt.Printf("mean at t=90s %.2f\n", tl.MeanAt(90))
+	tta, ok := tl.TimeToAccuracy(0.5)
+	fmt.Printf("time to 50%%: %.0fs (reached=%v)\n", tta, ok)
+	fmt.Printf("converged: %v\n", tl.Converged(1, 0.02))
+	// Output:
+	// final mean 0.72
+	// mean at t=90s 0.50
+	// time to 50%: 60s (reached=true)
+	// converged: true
+}
+
+// ExampleTimeline_deviation shows the Figure 17 style across-worker
+// deviation queries.
+func ExampleTimeline_deviation() {
+	tl := metrics.Timeline{
+		metrics.NewPoint(0, []float64{0.1, 0.9, 0.5}, 0),
+		metrics.NewPoint(60, []float64{0.3, 0.5, 0.7}, 0),
+		metrics.NewPoint(120, []float64{0.6, 0.6, 0.6}, 0),
+	}
+	fmt.Printf("final deviation %.2f\n", tl.FinalDeviation())
+	fmt.Printf("max deviation %.2f\n", tl.MaxDeviation())
+	// Output:
+	// final deviation 0.00
+	// max deviation 0.20
+}

@@ -92,6 +92,55 @@ func TestDeviation(t *testing.T) {
 	}
 }
 
+// TestEdgeCases pins the boundary behaviour every caller of Timeline relies
+// on: empty and single-point timelines, windows wider than the data, and
+// queries before the first evaluation.
+func TestEdgeCases(t *testing.T) {
+	empty := tl()
+	if empty.FinalDeviation() != 0 || empty.MaxDeviation() != 0 {
+		t.Fatal("empty timeline must report zero deviation")
+	}
+	if empty.MeanAt(100) != 0 {
+		t.Fatal("empty timeline MeanAt must be 0")
+	}
+	if _, ok := empty.TimeToAccuracy(0); ok {
+		t.Fatal("empty timeline never reaches a target")
+	}
+	if empty.Converged(0, 1) {
+		t.Fatal("empty timeline cannot be converged")
+	}
+
+	single := tl(NewPoint(5, []float64{0.3}, 1))
+	if single.FinalMean() != 0.3 || single.BestMean() != 0.3 {
+		t.Fatalf("single point means: %v %v", single.FinalMean(), single.BestMean())
+	}
+	if single.FinalDeviation() != 0 {
+		t.Fatal("single worker has zero deviation")
+	}
+	if single.Converged(1, 1) {
+		t.Fatal("one point cannot show a plateau")
+	}
+
+	line := tl(
+		NewPoint(10, []float64{0.2}, 0),
+		NewPoint(20, []float64{0.4}, 0),
+	)
+	// query before the first evaluation: nothing measured yet
+	if got := line.MeanAt(5); got != 0 {
+		t.Fatalf("MeanAt before first eval = %v, want 0", got)
+	}
+	if got := line.MeanAt(10); got != 0.2 {
+		t.Fatalf("MeanAt at first eval = %v, want 0.2", got)
+	}
+	// window larger than the whole timeline
+	if line.Converged(5, 10) {
+		t.Fatal("window wider than timeline must report not converged")
+	}
+	if !line.Converged(1, 0.5) {
+		t.Fatal("exact-fit window should evaluate the plateau test")
+	}
+}
+
 func TestConverged(t *testing.T) {
 	line := tl(
 		NewPoint(0, []float64{0.1}, 0),

@@ -1,0 +1,99 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+
+	"dlion/internal/obs"
+)
+
+// ExampleWorkerObs shows the per-worker sink: phases accumulate seconds,
+// transfers accumulate per message class, and Snapshot renders the record
+// that lands in a BENCH report's workers section.
+func ExampleWorkerObs() {
+	o := obs.NewWorkerObs()
+	o.AddPhase(obs.PhaseCompute, 1.5)
+	o.AddPhase(obs.PhaseCompute, 0.5)
+	o.AddPhase(obs.PhaseRecvWait, 0.25)
+	o.AddSent(obs.ClassGradient, 4096)
+	o.AddSent(obs.ClassGradient, 4096)
+
+	w := o.Snapshot(0)
+	fmt.Printf("compute %.2fs, recv-wait %.2fs\n",
+		w.Phases["compute"], w.Phases["recv_wait"])
+	fmt.Printf("gradient: %d msgs, %d bytes\n",
+		w.SentMsgs["gradient"], w.SentBytes["gradient"])
+	// Output:
+	// compute 2.00s, recv-wait 0.25s
+	// gradient: 2 msgs, 8192 bytes
+}
+
+// ExampleRegistry shows named process-wide counters and gauges. A nil
+// registry would hand out nil handles, turning the same calls into no-ops
+// — which is how subsystems run uninstrumented by default.
+func ExampleRegistry() {
+	reg := obs.NewRegistry()
+	reg.Counter("queue.pushed").Add(3)
+	reg.Counter("queue.pushed").Inc()
+	reg.Gauge("queue.list_depth").Set(7)
+	reg.Gauge("queue.list_depth").Set(2)
+
+	snap := reg.Snapshot()
+	fmt.Println("pushed:", snap["queue.pushed"])
+	fmt.Println("depth:", snap["queue.list_depth"], "max:", snap["queue.list_depth.max"])
+	// Output:
+	// pushed: 4
+	// depth: 2 max: 7
+}
+
+// ExampleReport builds a minimal sim-run report and prints it in the
+// BENCH_*.json schema documented in METRICS.md.
+func ExampleReport() {
+	r := obs.NewReport("sim-run", "demo")
+	o := obs.NewWorkerObs()
+	o.AddPhase(obs.PhaseCompute, 2)
+	r.Workers = []obs.WorkerReport{o.Snapshot(0)}
+	r.Summary = map[string]float64{"final_acc": 0.9}
+	r.WriteJSON(os.Stdout)
+	// Output:
+	// {
+	//   "schema": "dlion.bench.v1",
+	//   "kind": "sim-run",
+	//   "name": "demo",
+	//   "workers": [
+	//     {
+	//       "id": 0,
+	//       "phases": {
+	//         "apply": 0,
+	//         "compute": 2,
+	//         "recv_wait": 0,
+	//         "send": 0,
+	//         "serialize": 0
+	//       },
+	//       "sent_bytes": {
+	//         "control": 0,
+	//         "gradient": 0,
+	//         "weights": 0
+	//       },
+	//       "sent_msgs": {
+	//         "control": 0,
+	//         "gradient": 0,
+	//         "weights": 0
+	//       },
+	//       "recv_bytes": {
+	//         "control": 0,
+	//         "gradient": 0,
+	//         "weights": 0
+	//       },
+	//       "recv_msgs": {
+	//         "control": 0,
+	//         "gradient": 0,
+	//         "weights": 0
+	//       }
+	//     }
+	//   ],
+	//   "summary": {
+	//     "final_acc": 0.9
+	//   }
+	// }
+}

@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"dlion/internal/obs"
 )
 
 // ErrClosed is returned by operations on a closed broker.
@@ -25,6 +27,28 @@ type Broker struct {
 	subs    map[string]map[int]*Subscription
 	lists   map[string][][]byte
 	waiters map[string][]chan []byte
+	queued  int // total items across all lists (drives the depth gauge)
+
+	// Metric handles (nil-safe no-ops until SetMetrics is called).
+	mPublished  *obs.Counter
+	mPubDropped *obs.Counter
+	mPushed     *obs.Counter
+	mPopped     *obs.Counter
+	mDepth      *obs.Gauge
+}
+
+// SetMetrics wires the broker's counters into a registry (METRICS.md:
+// queue.published, queue.pub_dropped, queue.pushed, queue.popped, and the
+// queue.list_depth gauge). Call before serving traffic; without it the
+// broker runs uninstrumented at no cost.
+func (b *Broker) SetMetrics(r *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mPublished = r.Counter("queue.published")
+	b.mPubDropped = r.Counter("queue.pub_dropped")
+	b.mPushed = r.Counter("queue.pushed")
+	b.mPopped = r.Counter("queue.popped")
+	b.mDepth = r.Gauge("queue.list_depth")
 }
 
 // NewBroker returns an empty broker.
@@ -104,6 +128,7 @@ func (b *Broker) Publish(channel string, payload []byte) (int, error) {
 				// full: drop oldest and retry once
 				select {
 				case <-s.c:
+					b.mPubDropped.Inc()
 					continue
 				default:
 				}
@@ -111,6 +136,7 @@ func (b *Broker) Publish(channel string, payload []byte) (int, error) {
 			break
 		}
 	}
+	b.mPublished.Add(int64(n))
 	return n, nil
 }
 
@@ -124,13 +150,17 @@ func (b *Broker) LPush(key string, payload []byte) error {
 	if b.closed {
 		return ErrClosed
 	}
+	b.mPushed.Inc()
 	if ws := b.waiters[key]; len(ws) > 0 {
 		w := ws[0]
 		b.waiters[key] = ws[1:]
 		w <- payload // waiter channel is buffered size 1
+		b.mPopped.Inc()
 		return nil
 	}
 	b.lists[key] = append(b.lists[key], payload)
+	b.queued++
+	b.mDepth.Set(int64(b.queued))
 	return nil
 }
 
@@ -143,13 +173,23 @@ func (b *Broker) RPop(key string) ([]byte, bool) {
 	if len(l) == 0 {
 		return nil, false
 	}
+	head := b.popLocked(key, l)
+	return head, true
+}
+
+// popLocked removes the head of list l (known non-empty) under b.mu,
+// maintaining the depth accounting.
+func (b *Broker) popLocked(key string, l [][]byte) []byte {
 	head := l[0]
 	if len(l) == 1 {
 		delete(b.lists, key)
 	} else {
 		b.lists[key] = l[1:]
 	}
-	return head, true
+	b.queued--
+	b.mDepth.Set(int64(b.queued))
+	b.mPopped.Inc()
+	return head
 }
 
 // BRPop blocks until an element is available on key or ctx is done.
@@ -160,12 +200,7 @@ func (b *Broker) BRPop(ctx context.Context, key string) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	if l := b.lists[key]; len(l) > 0 {
-		head := l[0]
-		if len(l) == 1 {
-			delete(b.lists, key)
-		} else {
-			b.lists[key] = l[1:]
-		}
+		head := b.popLocked(key, l)
 		b.mu.Unlock()
 		return head, nil
 	}

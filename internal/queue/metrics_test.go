@@ -1,0 +1,94 @@
+package queue
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dlion/internal/obs"
+)
+
+func TestBrokerMetrics(t *testing.T) {
+	b := NewBroker()
+	reg := obs.NewRegistry()
+	b.SetMetrics(reg)
+
+	b.LPush("k", []byte("a"))
+	b.LPush("k", []byte("b"))
+	if snap := reg.Snapshot(); snap["queue.pushed"] != 2 || snap["queue.list_depth"] != 2 {
+		t.Fatalf("after pushes: %v", snap)
+	}
+	if _, ok := b.RPop("k"); !ok {
+		t.Fatal("RPop failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := b.BRPop(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["queue.popped"] != 2 || snap["queue.list_depth"] != 0 {
+		t.Fatalf("after pops: %v", snap)
+	}
+	if snap["queue.list_depth.max"] != 2 {
+		t.Fatalf("depth high-water = %d, want 2", snap["queue.list_depth.max"])
+	}
+
+	// A hand-off to a blocked waiter counts as push+pop without touching depth.
+	got := make(chan []byte, 1)
+	go func() {
+		p, _ := b.BRPop(context.Background(), "w")
+		got <- p
+	}()
+	waitForWaiter(t, b, "w")
+	b.LPush("w", []byte("x"))
+	<-got
+	snap = reg.Snapshot()
+	if snap["queue.pushed"] != 3 || snap["queue.popped"] != 3 || snap["queue.list_depth"] != 0 {
+		t.Fatalf("after hand-off: %v", snap)
+	}
+
+	// PUB/SUB delivery and drop-oldest accounting.
+	sub, err := b.Subscribe("c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	b.Publish("c", []byte("1"))
+	b.Publish("c", []byte("2")) // buffer full: drops "1"
+	snap = reg.Snapshot()
+	if snap["queue.published"] != 2 || snap["queue.pub_dropped"] != 1 {
+		t.Fatalf("pub accounting: %v", snap)
+	}
+}
+
+// waitForWaiter blocks until a BRPop waiter is registered on key.
+func waitForWaiter(t *testing.T, b *Broker, key string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		b.mu.Lock()
+		n := len(b.waiters[key])
+		b.mu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("waiter never registered")
+}
+
+func TestReconnectAttemptsCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	// No broker behind this address: every operation fails and retries.
+	r := DialReconnecting("127.0.0.1:1", ReconnectConfig{
+		InitialBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, MaxAttempts: 3})
+	r.SetMetrics(reg)
+	defer r.Close()
+	if err := r.LPush("k", []byte("x")); err == nil {
+		t.Fatal("push against dead broker succeeded")
+	}
+	if got := reg.Snapshot()["queue.reconnect_attempts"]; got < 2 {
+		t.Fatalf("reconnect_attempts = %d, want >= 2", got)
+	}
+}

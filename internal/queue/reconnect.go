@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"dlion/internal/obs"
 )
 
 // ReconnectConfig tunes ReconnectingClient's backoff behavior. The zero
@@ -52,6 +54,17 @@ type ReconnectingClient struct {
 	closed bool
 	done   chan struct{}
 	subWG  sync.WaitGroup
+
+	mReconnects *obs.Counter // nil-safe; see SetMetrics
+}
+
+// SetMetrics wires the client's retry accounting into a registry
+// (METRICS.md: queue.reconnect_attempts counts every backoff-then-retry
+// cycle). Call before issuing operations.
+func (r *ReconnectingClient) SetMetrics(reg *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mReconnects = reg.Counter("queue.reconnect_attempts")
 }
 
 // DialReconnecting returns a client for the broker at addr. The connection
@@ -94,6 +107,10 @@ func (r *ReconnectingClient) invalidate(c *Client) {
 // backoff sleeps for the jittered delay, aborting early on Close. It
 // returns the next delay.
 func (r *ReconnectingClient) backoff(d time.Duration) (time.Duration, error) {
+	r.mu.Lock()
+	c := r.mReconnects
+	r.mu.Unlock()
+	c.Inc()
 	j := 1 + r.cfg.Jitter*(2*rand.Float64()-1)
 	select {
 	case <-time.After(time.Duration(float64(d) * j)):

@@ -15,6 +15,7 @@ import (
 	"dlion/internal/core"
 	"dlion/internal/data"
 	"dlion/internal/nn"
+	"dlion/internal/obs"
 	"dlion/internal/wire"
 )
 
@@ -46,6 +47,15 @@ type Config struct {
 	// network monitor's answer in real mode, where we cannot introspect the
 	// kernel). Nil defaults to 100 Mbps everywhere.
 	Bandwidth func(to int) float64
+
+	// Obs, when non-nil, records this node's wall-clock phase breakdown
+	// (compute/serialize/send/recv-wait/apply) and per-class transfer
+	// counters. Nil disables tracing at zero cost (see METRICS.md).
+	Obs *obs.WorkerObs
+
+	// Metrics, when non-nil, receives the node's named counters:
+	// realtime.fifo_drops and the realtime.send_queue_depth gauge.
+	Metrics *obs.Registry
 }
 
 // Node hosts one worker over wall time.
@@ -67,6 +77,11 @@ type Node struct {
 	sendMu  sync.Mutex
 	senders map[int]chan []byte
 	done    chan struct{} // closed when Run exits; stops the senders
+
+	// Counter handles resolved from cfg.Metrics at construction (nil-safe
+	// no-ops when no registry is configured).
+	fifoDrops *obs.Counter
+	sendDepth *obs.Gauge
 }
 
 // sendQueueDepth bounds each per-peer outbound queue.
@@ -124,7 +139,15 @@ func (e realEnv) ProfileCompute(_ int, batches []int) (x, y []float64) {
 }
 
 func (e realEnv) Send(_, to int, m *wire.Message) {
-	e.n.enqueue(to, wire.Encode(m))
+	o := e.n.cfg.Obs
+	if o == nil {
+		e.n.enqueue(to, wire.Encode(m))
+		return
+	}
+	t0 := time.Now()
+	payload := wire.Encode(m)
+	o.AddPhase(obs.PhaseSerialize, time.Since(t0).Seconds())
+	e.n.enqueue(to, payload)
 }
 
 // enqueue hands payload to the destination's FIFO sender, spawning it on
@@ -141,11 +164,13 @@ func (n *Node) enqueue(to int, payload []byte) {
 	for {
 		select {
 		case ch <- payload:
+			n.sendDepth.Set(int64(len(ch)))
 			return
 		default:
 			// full: shed the oldest queued message and retry
 			select {
 			case <-ch:
+				n.fifoDrops.Inc()
 			default:
 			}
 		}
@@ -164,7 +189,14 @@ func (n *Node) sendLoop(to int, ch chan []byte) {
 		case <-n.done:
 			return
 		case p := <-ch:
-			if err := n.cfg.Transport.Send(to, p); err != nil {
+			if o := n.cfg.Obs; o != nil {
+				t0 := time.Now()
+				err := n.cfg.Transport.Send(to, p)
+				o.AddPhase(obs.PhaseSend, time.Since(t0).Seconds())
+				if err != nil {
+					continue
+				}
+			} else if err := n.cfg.Transport.Send(to, p); err != nil {
 				continue // transport closed or link down: drop, like a partitioned link
 			}
 		}
@@ -178,10 +210,15 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("realtime: nil transport")
 	}
 	n := &Node{cfg: cfg, loop: make(chan func(), 1024),
-		senders: map[int]chan []byte{}, done: make(chan struct{})}
+		senders: map[int]chan []byte{}, done: make(chan struct{}),
+		fifoDrops: cfg.Metrics.Counter("realtime.fifo_drops"),
+		sendDepth: cfg.Metrics.Gauge("realtime.send_queue_depth")}
 	w, err := core.New(cfg.ID, cfg.System, cfg.Spec.Build(), cfg.Shard, realEnv{n})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		w.SetObs(cfg.Obs)
 	}
 	n.worker = w
 	return n, nil

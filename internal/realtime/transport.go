@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"dlion/internal/obs"
 	"dlion/internal/queue"
 )
 
@@ -67,6 +68,13 @@ func NewClientTransport(addr string, id int) (*ClientTransport, error) {
 		recv: queue.DialReconnecting(addr, queue.ReconnectConfig{}),
 		id:   id,
 	}, nil
+}
+
+// SetMetrics wires both underlying reconnecting clients' retry counters
+// into reg (shared queue.reconnect_attempts counter).
+func (t *ClientTransport) SetMetrics(reg *obs.Registry) {
+	t.send.SetMetrics(reg)
+	t.recv.SetMetrics(reg)
 }
 
 // Send implements Transport.

@@ -3,26 +3,31 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxWorkers caps kernel parallelism. Tests may lower it via SetMaxWorkers.
-var maxWorkers = runtime.GOMAXPROCS(0)
+// maxWorkers caps kernel parallelism. Tests may lower it via SetMaxWorkers;
+// it is read from every kernel call, so access must be atomic.
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
 
 // SetMaxWorkers bounds the number of goroutines the heavy kernels use and
-// returns the previous bound. n < 1 is treated as 1.
+// returns the previous bound. n < 1 is treated as 1. Safe to call while
+// kernels run on other goroutines.
 func SetMaxWorkers(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	old := maxWorkers
-	maxWorkers = n
-	return old
+	return int(maxWorkers.Swap(int64(n)))
 }
 
 // parallelFor runs body(i) for i in [0,n) across up to maxWorkers goroutines.
 // Small ranges run inline to avoid goroutine overhead.
 func parallelFor(n int, body func(i int)) {
-	workers := maxWorkers
+	workers := int(maxWorkers.Load())
 	if workers > n {
 		workers = n
 	}

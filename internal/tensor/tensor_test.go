@@ -317,6 +317,38 @@ func TestSetMaxWorkers(t *testing.T) {
 	}
 }
 
+// TestSetMaxWorkersConcurrent adjusts the worker bound while kernels run on
+// another goroutine; run under -race it pins the atomic access to maxWorkers.
+func TestSetMaxWorkersConcurrent(t *testing.T) {
+	old := SetMaxWorkers(2)
+	defer SetMaxWorkers(old)
+	a := FromSlice(make([]float32, 64), 8, 8)
+	for i := range a.Data {
+		a.Data[i] = float32(i)
+	}
+	c := New(8, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			MatMul(c, a, a)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		SetMaxWorkers(1 + i%4)
+	}
+	<-done
+	want := New(8, 8)
+	prev := SetMaxWorkers(1)
+	MatMul(want, a, a)
+	SetMaxWorkers(prev)
+	for i := range want.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("concurrent-resize MatMul diverged at %d: %v != %v", i, c.Data[i], want.Data[i])
+		}
+	}
+}
+
 // minimal deterministic PRNG for tests (xorshift), avoids math/rand seeding
 // boilerplate in property tests.
 type testRand struct{ s uint64 }
