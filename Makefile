@@ -1,10 +1,11 @@
 # Tier-1 gate: everything a change must pass before merging.
 # The -race pass covers the concurrency-heavy packages (TCP broker,
-# reconnecting client, real-mode runtime); running it repo-wide would
+# reconnecting client, real-mode runtime, serving) plus the nn
+# checkpoint-vs-Forward concurrency tests; running it repo-wide would
 # multiply simulation test time ~20x for no extra coverage.
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race fuzz-smoke bench bench-serve
 
-check: build vet test race
+check: build vet test race fuzz-smoke
 
 build:
 	go build ./...
@@ -16,10 +17,23 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/queue/... ./internal/realtime/...
+	go test -race ./internal/queue/... ./internal/realtime/... ./internal/serve/...
+	go test -race -run 'Concurrent' ./internal/nn/...
+
+# Short fuzz pass over the wire decoder and framer: catches panics and
+# canonicalization regressions without the cost of a long campaign. The
+# committed corpus under internal/wire/testdata/fuzz seeds both targets.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
+	go test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire
 
 # Kernel microbenchmarks, emitted as a BENCH JSON report (see METRICS.md).
 bench:
 	go test -run='^$$' -bench=. -benchmem \
 		./internal/tensor/... ./internal/nn/... ./internal/wire/... \
 		| go run ./cmd/dlion-benchfmt -out BENCH_kernels.json
+
+# Serving load benchmark: batch=1 vs dynamic micro-batching vs overload
+# shedding, emitted as BENCH_serve.json (see EXPERIMENTS.md).
+bench-serve:
+	go run ./cmd/dlion-bench -serve -json BENCH_serve.json

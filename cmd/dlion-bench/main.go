@@ -10,6 +10,7 @@
 //	dlion-bench -list           # list experiment ids
 //	dlion-bench -out report.md  # also write a markdown report
 //	dlion-bench -json bench.json  # also write a BENCH JSON report (METRICS.md)
+//	dlion-bench -serve          # serving load benchmark -> BENCH_serve.json
 package main
 
 import (
@@ -31,8 +32,17 @@ func main() {
 		out     = flag.String("out", "", "also write a markdown report to this file")
 		jsonOut = flag.String("json", "", "also write a BENCH JSON report (METRICS.md schema) to this file")
 		dbgAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address while running")
+		srvMode = flag.Bool("serve", false, "run the serving load benchmark instead of the experiments")
 	)
 	flag.Parse()
+
+	if *srvMode {
+		if err := runServeBench(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dlion-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *dbgAddr != "" {
 		dbg, err := obs.ServeDebug(*dbgAddr, nil)

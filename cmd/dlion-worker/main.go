@@ -15,12 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dlion/internal/data"
 	"dlion/internal/nn"
 	"dlion/internal/obs"
 	"dlion/internal/realtime"
+	"dlion/internal/serve"
 	"dlion/internal/systems"
 )
 
@@ -34,6 +37,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.02, "dataset scale")
 		duration = flag.Duration("duration", 30*time.Second, "training duration")
 		dbgAddr  = flag.String("debug-addr", "", "serve pprof + expvar on this address (see METRICS.md)")
+		servePub = flag.Duration("serve-publish", 0, "broadcast model checkpoints for dlion-serve at this interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -94,8 +98,36 @@ func main() {
 	}
 
 	fmt.Printf("worker %d/%d (%s) training for %v via %s\n", *id, *n, sys.Name, *duration, *broker)
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	// SIGINT/SIGTERM stop training gracefully: Run returns, queued sends
+	// flush, and the process reports its final stats instead of dying mid-step.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
+
+	// With -serve-publish set, the worker periodically snapshots its model
+	// on the event loop and broadcasts it on the serving weights channel;
+	// any dlion-serve subscribed to the same broker hot-swaps to it.
+	if *servePub > 0 {
+		go func() {
+			tick := time.NewTicker(*servePub)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					iter, ckpt, err := node.Checkpoint(ctx)
+					if err != nil || iter == 0 {
+						continue // stopping, or nothing trained yet
+					}
+					if err := tr.Publish(serve.WeightsChannel, serve.EncodeUpdate(iter, ckpt)); err != nil {
+						fmt.Fprintln(os.Stderr, "dlion-worker: serve publish:", err)
+					}
+				}
+			}
+		}()
+	}
 	go func() {
 		tick := time.NewTicker(5 * time.Second)
 		defer tick.Stop()
@@ -112,6 +144,11 @@ func main() {
 	}()
 	if err := node.Run(ctx); err != nil {
 		fatal(err)
+	}
+	// Graceful drain: give the per-peer FIFOs a moment to hand their last
+	// frames to the broker before the deferred transport close cuts them off.
+	if !node.FlushSends(2 * time.Second) {
+		fmt.Fprintln(os.Stderr, "dlion-worker: send queues did not fully drain")
 	}
 	s := node.Worker().Stats()
 	fmt.Printf("done: %d iterations, %d samples, final loss %.3f\n",

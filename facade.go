@@ -7,6 +7,7 @@ import (
 	"dlion/internal/nn"
 	"dlion/internal/queue"
 	"dlion/internal/realtime"
+	"dlion/internal/serve"
 	"dlion/internal/simcompute"
 	"dlion/internal/simnet"
 )
@@ -163,3 +164,36 @@ func GrowShards(ds *Dataset, chunk *Dataset, shards []*Shard) error {
 // Model is a neural network with named weight variables (a worker's
 // replica). Exposed for checkpoint/resume workflows.
 type Model = nn.Model
+
+// Serving types: the inference side of the train-near-data loop. A
+// ServeRegistry holds hot-swappable model versions; a serve HTTP server
+// answers /predict with dynamic micro-batching (DESIGN.md §8).
+type (
+	// ServeRegistry is a hot-swappable model version store.
+	ServeRegistry = serve.Registry
+	// ServeConfig assembles one inference server.
+	ServeConfig = serve.Config
+	// ServeServer is the HTTP inference handler (micro-batching /predict).
+	ServeServer = serve.Server
+	// ServeHTTPServer binds a ServeServer to a TCP listener.
+	ServeHTTPServer = serve.HTTPServer
+)
+
+// ServeWeightsChannel is the broker PUB/SUB channel carrying weight
+// broadcasts from training workers to inference servers.
+const ServeWeightsChannel = serve.WeightsChannel
+
+// NewServeRegistry returns an empty model registry for the given spec.
+func NewServeRegistry(spec ModelSpec) *ServeRegistry { return serve.NewRegistry(spec) }
+
+// ListenAndServeModels starts an inference server on addr (use port 0 for
+// an ephemeral port; the returned server reports its URL).
+func ListenAndServeModels(cfg ServeConfig, addr string) (*ServeHTTPServer, error) {
+	return serve.Listen(cfg, addr)
+}
+
+// EncodeWeightsUpdate frames a checkpoint for ServeWeightsChannel; seq is
+// the training iteration, which orders hot-swaps at the receivers.
+func EncodeWeightsUpdate(seq int64, ckpt []byte) []byte {
+	return serve.EncodeUpdate(seq, ckpt)
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dlion/internal/stats"
+)
+
+// TestConcurrentCheckpointForward exercises the serving contract: a Model
+// is single-threaded (Forward mutates layer caches), but checkpoint BYTES
+// are immutable, so a trainer may keep training its replica while any
+// number of servers restore those bytes into private replicas and run
+// Forward concurrently. The trainer emits tagged checkpoints from its own
+// goroutine (the event-loop rule); consumers verify round-trip fidelity,
+// deterministic inference, and that continued training never mutates
+// already-published bytes. Run under -race: any sharing between the
+// trainer's replica and the serving replicas is a bug this must catch.
+func TestConcurrentCheckpointForward(t *testing.T) {
+	spec := CipherSpec(1, 8, 8, 3, 11)
+	rng := stats.NewRNG(17)
+	x, y := smallBatch(rng, 8, 1, 8, 8, 3)
+	xq, _ := smallBatch(rng, 4, 1, 8, 8, 3)
+
+	type version struct {
+		iter int64
+		ckpt []byte
+	}
+	const rounds, servers = 12, 3
+	feed := make(chan version, rounds)
+
+	// Trainer: its replica is touched by this goroutine only.
+	go func() {
+		defer close(feed)
+		m := spec.Build()
+		for i := 1; i <= rounds; i++ {
+			for k := 0; k < 5; k++ {
+				m.TrainStep(x, y)
+				m.ApplySGD(0.05)
+			}
+			feed <- version{iter: int64(i), ckpt: m.Checkpoint()}
+		}
+	}()
+
+	var mu sync.Mutex
+	var published []version // retained to re-verify after training ends
+
+	var wg sync.WaitGroup
+	for s := 0; s < servers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replica := spec.Build()
+			witness := spec.Build()
+			var lastIter int64
+			for v := range feed {
+				// Hot-swap ordering: the feed hands out versions in publish
+				// order; a consumer must never see the iteration go back.
+				if v.iter <= lastIter {
+					t.Errorf("version order violated: %d after %d", v.iter, lastIter)
+					return
+				}
+				lastIter = v.iter
+				if err := replica.Restore(v.ckpt); err != nil {
+					t.Errorf("restore iter %d: %v", v.iter, err)
+					return
+				}
+				// Round trip: restored replica re-checkpoints to the same bytes.
+				if !bytes.Equal(replica.Checkpoint(), v.ckpt) {
+					t.Errorf("iter %d: checkpoint round trip not byte-identical", v.iter)
+					return
+				}
+				// Deterministic inference: two replicas of the same version
+				// agree exactly, even while the trainer keeps mutating its own.
+				out := replica.Forward(xq)
+				if err := witness.Restore(v.ckpt); err != nil {
+					t.Errorf("witness restore: %v", err)
+					return
+				}
+				ref := witness.Forward(xq)
+				for i := range out.Data {
+					if out.Data[i] != ref.Data[i] {
+						t.Errorf("iter %d: concurrent Forward diverged at %d", v.iter, i)
+						return
+					}
+				}
+				mu.Lock()
+				published = append(published, v)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Published bytes survived training untouched: every retained version
+	// still restores and round-trips after the trainer is done.
+	if len(published) != rounds {
+		t.Fatalf("consumed %d versions, want %d", len(published), rounds)
+	}
+	replica := spec.Build()
+	for _, v := range published {
+		if err := replica.Restore(v.ckpt); err != nil {
+			t.Fatalf("post-hoc restore iter %d: %v", v.iter, err)
+		}
+		if !bytes.Equal(replica.Checkpoint(), v.ckpt) {
+			t.Fatalf("iter %d: published bytes mutated", v.iter)
+		}
+	}
+}

@@ -26,9 +26,10 @@ func Publish(name string, fn func() any) {
 	expvar.Publish(name, expvar.Func(fn))
 }
 
-// PublishRegistry exposes reg's snapshot as the expvar variable name.
+// PublishRegistry exposes reg's snapshot — counters, gauges, and histogram
+// summaries — as the expvar variable name.
 func PublishRegistry(name string, reg *Registry) {
-	Publish(name, func() any { return reg.Snapshot() })
+	Publish(name, func() any { return reg.Expvar() })
 }
 
 // DebugServer is the HTTP server behind a binary's -debug-addr flag. It

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read as zero")
+	}
+	if s := h.Summary(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("nil summary %+v", s)
+	}
+}
+
+func TestHistogramEmptyAndBadValues(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-1)
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("bad observations recorded: count %d", h.Count())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile %v", q)
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{0.001, 0.002, 0.003, 0.004} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.010; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum %v want %v", got, want)
+	}
+	if got, want := h.Mean(), 0.0025; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("mean %v want %v", got, want)
+	}
+	if got := h.Max(); got != 0.004 {
+		t.Fatalf("max %v", got)
+	}
+}
+
+// Quantiles must land within one bucket's relative error of the true value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..1000 ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.500}, {0.90, 0.900}, {0.99, 0.990}, {1.00, 1.000},
+	} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > histGrowth-1 {
+			t.Errorf("q%.2f = %v, want ~%v (rel err %.3f)", tc.q, got, tc.want, rel)
+		}
+	}
+	// The max is exact and bounds every quantile.
+	if h.Quantile(0.999) > h.Max() {
+		t.Fatalf("quantile above max")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)    // below first bound
+	h.Observe(1e-9) // deep in bucket 0
+	h.Observe(1e9)  // far past the last finite bound
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Max(); got != 1e9 {
+		t.Fatalf("max %v", got)
+	}
+	// The overflow bucket reports the exact max, not a bucket bound.
+	if got := h.Quantile(1); got != 1e9 {
+		t.Fatalf("q100 %v", got)
+	}
+	if got := h.Quantile(0.1); got >= histBase {
+		t.Fatalf("q10 %v should sit in the sub-µs bucket", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per+i) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count %d want %d", h.Count(), goroutines*per)
+	}
+	want := float64(goroutines*per-1) * 1e-6
+	if h.Max() != want {
+		t.Fatalf("max %v want %v", h.Max(), want)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil histograms")
+	}
+	nilReg.Histogram("x").Observe(1) // must not panic
+	if len(nilReg.HistogramSummaries()) != 0 {
+		t.Fatal("nil registry summaries must be empty")
+	}
+
+	reg := NewRegistry()
+	h := reg.Histogram("serve.latency")
+	if h == nil || reg.Histogram("serve.latency") != h {
+		t.Fatal("histogram lookup must be stable")
+	}
+	h.Observe(0.5)
+	reg.Counter("serve.sheds").Add(3)
+
+	sums := reg.HistogramSummaries()
+	if s, ok := sums["serve.latency"]; !ok || s.Count != 1 {
+		t.Fatalf("summaries %+v", sums)
+	}
+	ev := reg.Expvar()
+	if _, ok := ev["serve.latency"].(HistogramSummary); !ok {
+		t.Fatalf("expvar missing histogram: %+v", ev)
+	}
+	if v, ok := ev["serve.sheds"].(int64); !ok || v != 3 {
+		t.Fatalf("expvar missing counter: %+v", ev)
+	}
+}

@@ -131,9 +131,10 @@ func (g *Gauge) Max() int64 {
 // through the returned handles is lock-free. A nil *Registry hands out nil
 // handles, so "no registry configured" disables every counter downstream.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.

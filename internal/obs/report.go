@@ -35,6 +35,10 @@ type Report struct {
 	// fault counters).
 	Counters map[string]int64 `json:"counters,omitempty"`
 
+	// Histograms holds quantile summaries of the run's distributions
+	// (serving latency, batch fill, ...), keyed by metric name.
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+
 	// Timeline is the accuracy-over-time series of a training run.
 	Timeline []TimelinePoint `json:"timeline,omitempty"`
 

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlion/internal/core"
@@ -77,6 +78,10 @@ type Node struct {
 	sendMu  sync.Mutex
 	senders map[int]chan []byte
 	done    chan struct{} // closed when Run exits; stops the senders
+
+	// sendPending counts messages enqueued but not yet handed to the
+	// transport (or shed), so FlushSends can tell when the FIFOs are dry.
+	sendPending atomic.Int64
 
 	// Counter handles resolved from cfg.Metrics at construction (nil-safe
 	// no-ops when no registry is configured).
@@ -161,6 +166,7 @@ func (n *Node) enqueue(to int, payload []byte) {
 		go n.sendLoop(to, ch)
 	}
 	n.sendMu.Unlock()
+	n.sendPending.Add(1)
 	for {
 		select {
 		case ch <- payload:
@@ -170,11 +176,25 @@ func (n *Node) enqueue(to int, payload []byte) {
 			// full: shed the oldest queued message and retry
 			select {
 			case <-ch:
+				n.sendPending.Add(-1)
 				n.fifoDrops.Inc()
 			default:
 			}
 		}
 	}
+}
+
+// trySend hands one frame to the transport, recording send-phase time when
+// tracing is on. A send error drops the frame, like a partitioned link.
+func (n *Node) trySend(to int, p []byte) error {
+	defer n.sendPending.Add(-1)
+	if o := n.cfg.Obs; o != nil {
+		t0 := time.Now()
+		err := n.cfg.Transport.Send(to, p)
+		o.AddPhase(obs.PhaseSend, time.Since(t0).Seconds())
+		return err
+	}
+	return n.cfg.Transport.Send(to, p)
 }
 
 // sendLoop drains one peer's queue. Like the receive pump, it can outlive
@@ -183,23 +203,90 @@ func (n *Node) enqueue(to int, payload []byte) {
 // that send, after which the closed done channel retires the loop. Run
 // must NOT wait on sendLoops — the caller only closes the transport after
 // Run returns, so waiting here would deadlock the shutdown.
+//
+// When done closes, the loop flushes whatever is already queued — a
+// stopping worker's final broadcasts live here — stopping at the first
+// transport error. Callers that need the flush to have happened before
+// closing the transport should gate on FlushSends.
 func (n *Node) sendLoop(to int, ch chan []byte) {
 	for {
 		select {
 		case <-n.done:
-			return
-		case p := <-ch:
-			if o := n.cfg.Obs; o != nil {
-				t0 := time.Now()
-				err := n.cfg.Transport.Send(to, p)
-				o.AddPhase(obs.PhaseSend, time.Since(t0).Seconds())
-				if err != nil {
-					continue
+			for {
+				select {
+				case p := <-ch:
+					if err := n.trySend(to, p); err != nil {
+						for { // transport gone: discard the remainder
+							select {
+							case <-ch:
+								n.sendPending.Add(-1)
+							default:
+								return
+							}
+						}
+					}
+				default:
+					return
 				}
-			} else if err := n.cfg.Transport.Send(to, p); err != nil {
-				continue // transport closed or link down: drop, like a partitioned link
 			}
+		case p := <-ch:
+			_ = n.trySend(to, p)
 		}
+	}
+}
+
+// FlushSends blocks until every outbound FIFO has handed its frames to the
+// transport (or shed them), or the timeout elapses; it reports whether the
+// queues drained. Call it after Run returns and before Transport.Close so
+// a worker's final messages reach the broker instead of dying queued.
+func (n *Node) FlushSends(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for n.sendPending.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}
+
+// Checkpoint snapshots the hosted worker's model without violating the
+// event-loop contract: the snapshot closure runs on the loop between
+// events, so it can never observe a model mid-TrainStep. It returns the
+// worker's completed iteration count alongside the checkpoint bytes —
+// the pair a serving registry needs for ordered hot-swaps. It is only
+// serviced while Run is executing; otherwise it fails once the node stops
+// or ctx expires.
+func (n *Node) Checkpoint(ctx context.Context) (int64, []byte, error) {
+	type snap struct {
+		iter int64
+		ckpt []byte
+	}
+	res := make(chan snap, 1)
+	job := func() {
+		res <- snap{iter: n.worker.Iter(), ckpt: n.worker.Model().Checkpoint()}
+	}
+	select {
+	case n.loop <- job:
+	case <-n.done:
+		return 0, nil, fmt.Errorf("realtime: node stopped")
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+	select {
+	case s := <-res:
+		return s.iter, s.ckpt, nil
+	case <-n.done:
+		// Run can exit between accepting the job and executing it; the
+		// buffered channel tells the two apart.
+		select {
+		case s := <-res:
+			return s.iter, s.ckpt, nil
+		default:
+			return 0, nil, fmt.Errorf("realtime: node stopped")
+		}
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
 	}
 }
 

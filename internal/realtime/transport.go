@@ -8,6 +8,14 @@ import (
 	"dlion/internal/queue"
 )
 
+// Publisher is the optional broadcast side of a Transport: both
+// BrokerTransport and ClientTransport implement it, and callers that want
+// to fan out frames beyond point-to-point worker traffic (the serving
+// weight feed) type-assert for it.
+type Publisher interface {
+	Publish(channel string, payload []byte) error
+}
+
 // BrokerTransport connects a node to an in-process broker: sends LPush to
 // the destination's data list; Recv blocks on this node's own list.
 // It mirrors the prototype's Redis data-queue usage (§4.2).
@@ -32,6 +40,13 @@ func (t *BrokerTransport) Send(to int, payload []byte) error {
 // Recv implements Transport.
 func (t *BrokerTransport) Recv() ([]byte, error) {
 	return t.b.BRPop(t.ctx, DataKey(t.id))
+}
+
+// Publish broadcasts payload on one of the broker's PUB/SUB channels
+// (e.g. serve.WeightsChannel for serving weight updates).
+func (t *BrokerTransport) Publish(channel string, payload []byte) error {
+	_, err := t.b.Publish(channel, payload)
+	return err
 }
 
 // Close implements Transport.
@@ -80,6 +95,13 @@ func (t *ClientTransport) SetMetrics(reg *obs.Registry) {
 // Send implements Transport.
 func (t *ClientTransport) Send(to int, payload []byte) error {
 	return t.send.LPush(DataKey(to), payload)
+}
+
+// Publish broadcasts payload on one of the broker's PUB/SUB channels,
+// riding the send connection (publishes are fire-and-forget requests, so
+// they share it safely; only blocking pops need a dedicated conn).
+func (t *ClientTransport) Publish(channel string, payload []byte) error {
+	return t.send.Publish(channel, payload)
 }
 
 // Recv implements Transport. It blocks across broker outages and returns

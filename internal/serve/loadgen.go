@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlion/internal/obs"
+)
+
+// LoadConfig drives RunLoad, the closed-loop load generator behind
+// `dlion-bench -serve` and the overload tests. Each of Concurrency workers
+// issues single-sample /predict requests back-to-back, so offered load
+// scales with concurrency and self-limits at the server's capacity —
+// except when the admission queue fills first, which is exactly the
+// shedding regime the overload experiments measure.
+type LoadConfig struct {
+	// URL is the server's base URL (e.g. "http://127.0.0.1:8080").
+	URL string
+	// Concurrency is the number of closed-loop clients (default 8).
+	Concurrency int
+	// Duration bounds the run (default 2s).
+	Duration time.Duration
+	// Input is the sample feature vector every request carries; it must
+	// match the served spec's channels*height*width.
+	Input []float32
+	// Client overrides the HTTP client (default: pooled transport sized
+	// to Concurrency).
+	Client *http.Client
+}
+
+// LoadResult summarizes one load run. Latency quantiles cover *accepted*
+// (HTTP 200) requests only: shed requests fail fast by design, and mixing
+// their sub-millisecond 429s into the latency distribution would make an
+// overloaded server look faster.
+type LoadResult struct {
+	Sent   int64   `json:"sent"`
+	OK     int64   `json:"ok"`
+	Shed   int64   `json:"shed"`   // 429 responses
+	Failed int64   `json:"failed"` // transport errors and non-200/429 statuses
+	Secs   float64 `json:"secs"`
+	QPS    float64 `json:"qps"` // accepted requests per second
+
+	Latency obs.HistogramSummary `json:"latency"` // seconds, accepted only
+}
+
+// RunLoad drives cfg.URL until the duration elapses or ctx is done and
+// returns the client-side view of throughput and latency.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if len(cfg.Input) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: load config needs an input sample")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency,
+			MaxIdleConnsPerHost: cfg.Concurrency,
+		}}
+	}
+	body, err := json.Marshal(PredictRequest{Inputs: [][]float32{cfg.Input}})
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	var sent, ok, shed, failed atomic.Int64
+	hist := obs.NewHistogram()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			url := cfg.URL + "/predict"
+			for ctx.Err() == nil {
+				sent.Add(1)
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						sent.Add(-1) // cut off mid-flight by the deadline
+						return
+					}
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					hist.Observe(time.Since(t0).Seconds())
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	res := LoadResult{
+		Sent: sent.Load(), OK: ok.Load(), Shed: shed.Load(), Failed: failed.Load(),
+		Secs: elapsed, Latency: hist.Summary(),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.OK) / elapsed
+	}
+	return res, nil
+}

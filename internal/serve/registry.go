@@ -1,0 +1,145 @@
+// Package serve is the inference serving subsystem: it loads a model from
+// an nn checkpoint and answers predict requests over HTTP with dynamic
+// micro-batching, a bounded admission queue that sheds load instead of
+// collapsing, and a model registry that hot-swaps new checkpoint versions
+// without dropping in-flight requests.
+//
+// DLion trains models in place in micro-clouds precisely so they can be
+// used near the data (PAPER.md §1); this package is the consumption end of
+// that loop. A training cluster started with dlion-worker periodically
+// publishes checkpoints — to a directory or to a queue-broker channel —
+// and a dlion-serve process continuously picks them up, so the cluster
+// feeds the server it trains for.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlion/internal/nn"
+	"dlion/internal/obs"
+)
+
+// ErrStaleVersion reports a Publish whose sequence number does not advance
+// the registry — a reordered broadcast or a re-delivered checkpoint. The
+// registry keeps the newer version; delivery order across a gossiping
+// cluster is not guaranteed, so this is an expected, countable event, not
+// a failure.
+var ErrStaleVersion = errors.New("serve: stale model version")
+
+// Version is one immutable published model snapshot. Ckpt is the raw nn
+// checkpoint; readers must treat it as read-only (runners restore private
+// replicas from it, so one buffer feeds any number of concurrent runners).
+type Version struct {
+	Seq    int64     // strictly increasing across accepted publishes
+	Source string    // provenance: "init", "dir:<file>", "broadcast"
+	At     time.Time // publish wall time
+	Ckpt   []byte
+}
+
+// Registry holds the currently served model version and swaps in new ones
+// atomically. Publish validates a checkpoint against the model spec before
+// it can ever reach a runner; Current is a single atomic load, so the
+// request path never blocks on a swap.
+type Registry struct {
+	spec nn.Spec
+
+	mu  sync.Mutex // serializes Publish (validate + ordered swap)
+	cur atomic.Pointer[Version]
+
+	nswaps atomic.Int64 // accepted publishes, independent of metrics wiring
+
+	swaps    *obs.Counter
+	rejected *obs.Counter
+	stale    *obs.Counter
+	seqGauge *obs.Gauge
+}
+
+// NewRegistry returns an empty registry serving models built from spec.
+func NewRegistry(spec nn.Spec) *Registry {
+	return &Registry{spec: spec}
+}
+
+// SetMetrics wires the registry's counters into reg (METRICS.md:
+// serve.swaps, serve.swap_rejected, serve.swap_stale, and the
+// serve.model_seq gauge). Call before publishing.
+func (r *Registry) SetMetrics(reg *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.swaps = reg.Counter("serve.swaps")
+	r.rejected = reg.Counter("serve.swap_rejected")
+	r.stale = reg.Counter("serve.swap_stale")
+	r.seqGauge = reg.Gauge("serve.model_seq")
+}
+
+// Spec returns the model spec versions are validated against.
+func (r *Registry) Spec() nn.Spec { return r.spec }
+
+// Current returns the live version, or nil before the first successful
+// Publish. The returned version and its checkpoint are immutable.
+func (r *Registry) Current() *Version { return r.cur.Load() }
+
+// Swaps returns how many versions have been accepted.
+func (r *Registry) Swaps() int64 { return r.nswaps.Load() }
+
+// Publish validates ckpt against the registry's spec and atomically makes
+// it the served version. Versions must arrive with strictly increasing
+// seq: a stale or duplicate seq returns ErrStaleVersion and leaves the
+// live version untouched, which is what makes hot-swap safe under
+// reordered delivery. A checkpoint that fails structural validation is
+// rejected and can never reach a runner.
+func (r *Registry) Publish(seq int64, source string, ckpt []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.cur.Load(); cur != nil && seq <= cur.Seq {
+		r.stale.Inc()
+		return fmt.Errorf("%w: seq %d <= current %d", ErrStaleVersion, seq, cur.Seq)
+	}
+	// Restore into a scratch replica: proves the checkpoint matches the
+	// spec (names, shapes, length) before any runner sees it.
+	if err := r.spec.Build().Restore(ckpt); err != nil {
+		r.rejected.Inc()
+		return fmt.Errorf("serve: reject version %d from %s: %w", seq, source, err)
+	}
+	v := &Version{Seq: seq, Source: source, At: time.Now(), Ckpt: ckpt}
+	r.cur.Store(v)
+	r.nswaps.Add(1)
+	r.swaps.Inc()
+	r.seqGauge.Set(seq)
+	return nil
+}
+
+// --- weight-update broadcast framing ---
+
+// WeightsChannel is the queue PUB/SUB channel training workers publish
+// checkpoint updates on and serving registries subscribe to (the serving
+// analogue of the prototype's Redis control channels, §4.2).
+const WeightsChannel = "dlion:serve:weights"
+
+// updateMagic brands a weight-update frame ("DLSV": DLion serve version).
+var updateMagic = [4]byte{'D', 'L', 'S', 'V'}
+
+// ErrBadUpdate reports a structurally invalid weight-update frame.
+var ErrBadUpdate = errors.New("serve: bad weight update")
+
+// EncodeUpdate frames a checkpoint with its sequence number for broadcast:
+// magic, u64 seq, checkpoint bytes.
+func EncodeUpdate(seq int64, ckpt []byte) []byte {
+	buf := make([]byte, 0, 12+len(ckpt))
+	buf = append(buf, updateMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(seq))
+	return append(buf, ckpt...)
+}
+
+// DecodeUpdate parses a frame produced by EncodeUpdate. The checkpoint
+// slice aliases p.
+func DecodeUpdate(p []byte) (seq int64, ckpt []byte, err error) {
+	if len(p) < 12 || [4]byte(p[:4]) != updateMagic {
+		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadUpdate)
+	}
+	return int64(binary.LittleEndian.Uint64(p[4:])), p[12:], nil
+}

@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dlion/internal/nn"
+	"dlion/internal/obs"
+	"dlion/internal/tensor"
+)
+
+// Config assembles an inference server.
+type Config struct {
+	// Registry supplies model versions (required).
+	Registry *Registry
+
+	// MaxBatch is the largest micro-batch a runner coalesces (default 16).
+	// 1 disables batching: every request runs its own forward pass.
+	MaxBatch int
+
+	// MaxDelay bounds how long a runner holds an underfull batch open
+	// waiting for more requests (0 selects the 2ms default). Negative
+	// means "never wait": the runner takes whatever is already queued
+	// and runs immediately, trading batch fill for latency.
+	MaxDelay time.Duration
+
+	// QueueDepth bounds the admission queue (default 256). When it is
+	// full the server sheds new requests with 429 instead of queueing
+	// them into unbounded latency.
+	QueueDepth int
+
+	// Runners is the number of concurrent batch runners (default 1).
+	// Each runner owns a private model replica restored from the current
+	// version, so runners never contend on layer activation buffers.
+	Runners int
+
+	// Metrics, when non-nil, receives the serve.* counters, gauges, and
+	// latency/batch histograms (METRICS.md). Nil runs uninstrumented.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 16
+	}
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	} else if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.Runners < 1 {
+		c.Runners = 1
+	}
+	return c
+}
+
+// request is one admitted sample waiting for a runner.
+type request struct {
+	x    []float32
+	enq  time.Time
+	resp chan result // buffered size 1: runners never block on delivery
+}
+
+type result struct {
+	seq    int64
+	source string
+	class  int
+	probs  []float32
+	err    error
+}
+
+// errNoModel is returned to admitted requests when no version has been
+// published yet.
+var errNoModel = errors.New("serve: no model version published")
+
+// Server batches predict requests and runs them through the registry's
+// current model version. It implements http.Handler; use NewServer +
+// (*Server).Shutdown directly for in-process serving, or Listen for a
+// TCP-bound server.
+type Server struct {
+	cfg     Config
+	inLen   int // features per sample: channels*height*width
+	classes int
+	mux     *http.ServeMux
+
+	queue chan *request
+
+	// admitMu guards the draining flag against in-flight enqueues: Shutdown
+	// takes the write lock to flip draining, which cannot succeed while any
+	// handler holds the read lock mid-enqueue — after that, closing the
+	// queue is safe and every admitted request is still answered.
+	admitMu  sync.RWMutex
+	draining bool
+
+	runners  sync.WaitGroup
+	shutOnce sync.Once
+	shutErr  error
+
+	// Metric handles (nil-safe no-ops without a registry).
+	hLatency *obs.Histogram // admission → response, seconds
+	hBatch   *obs.Histogram // executed batch sizes
+	requests *obs.Counter
+	answered *obs.Counter
+	sheds    *obs.Counter
+	batches  *obs.Counter
+	qDepth   *obs.Gauge
+}
+
+// NewServer builds the server and starts its runners.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	cfg = cfg.withDefaults()
+	spec := cfg.Registry.Spec()
+	s := &Server{
+		cfg:     cfg,
+		inLen:   spec.Channels * spec.Height * spec.Width,
+		classes: spec.Classes,
+		queue:   make(chan *request, cfg.QueueDepth),
+
+		hLatency: cfg.Metrics.Histogram("serve.latency"),
+		hBatch:   cfg.Metrics.Histogram("serve.batch_fill"),
+		requests: cfg.Metrics.Counter("serve.requests"),
+		answered: cfg.Metrics.Counter("serve.answered"),
+		sheds:    cfg.Metrics.Counter("serve.sheds"),
+		batches:  cfg.Metrics.Counter("serve.batches"),
+		qDepth:   cfg.Metrics.Gauge("serve.queue_depth"),
+	}
+	if s.inLen <= 0 || s.classes <= 0 {
+		return nil, fmt.Errorf("serve: spec has no input geometry or classes")
+	}
+	if cfg.Metrics != nil {
+		cfg.Registry.SetMetrics(cfg.Metrics)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/modelz", s.handleModelz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	for i := 0; i < cfg.Runners; i++ {
+		s.runners.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the server: new requests are refused with 503, every
+// already-admitted request is answered, and the runners exit once the
+// queue is empty. It returns ctx.Err() if draining outlives ctx (runners
+// keep draining regardless). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.admitMu.Lock()
+		s.draining = true
+		s.admitMu.Unlock()
+		close(s.queue) // no enqueue can be in flight past the Lock above
+		done := make(chan struct{})
+		go func() {
+			s.runners.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.shutErr = ctx.Err()
+		}
+	})
+	return s.shutErr
+}
+
+// enqueue admits one sample into the batching queue, or reports shed=true
+// when the queue is full and drain=true when the server is shutting down.
+func (s *Server) enqueue(req *request) (shed, draining bool) {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return false, true
+	}
+	select {
+	case s.queue <- req:
+		s.qDepth.Set(int64(len(s.queue)))
+		return false, false
+	default:
+		return true, false
+	}
+}
+
+// --- HTTP API ---
+
+// PredictRequest is the /predict request body. Each input is one sample's
+// flattened feature vector of length channels*height*width.
+type PredictRequest struct {
+	Inputs [][]float32 `json:"inputs"`
+}
+
+// Prediction is one sample's answer.
+type Prediction struct {
+	Class int       `json:"class"`
+	Probs []float32 `json:"probs"`
+}
+
+// PredictResponse is the /predict response body. ModelSeq and ModelSource
+// identify the version that produced every prediction in the response.
+type PredictResponse struct {
+	ModelSeq    int64        `json:"model_seq"`
+	ModelSource string       `json:"model_source"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// maxPredictBody bounds a /predict request body (16 MB: ~2000 CIFAR-sized
+// samples, far above any sane micro-batch).
+const maxPredictBody = 16 << 20
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var body PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody))
+	if err := dec.Decode(&body); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body.Inputs) == 0 {
+		http.Error(w, "no inputs", http.StatusBadRequest)
+		return
+	}
+	for i, in := range body.Inputs {
+		if len(in) != s.inLen {
+			http.Error(w, fmt.Sprintf("input %d has %d features, want %d", i, len(in), s.inLen),
+				http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Admit each sample separately: they may land in different
+	// micro-batches (and even different model versions under a swap; the
+	// response reports the newest).
+	now := time.Now()
+	reqs := make([]*request, 0, len(body.Inputs))
+	for _, in := range body.Inputs {
+		req := &request{x: in, enq: now, resp: make(chan result, 1)}
+		s.requests.Inc()
+		if shed, draining := s.enqueue(req); draining {
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			return
+		} else if shed {
+			s.sheds.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: admission queue full", http.StatusTooManyRequests)
+			return
+		}
+		reqs = append(reqs, req)
+	}
+
+	resp := PredictResponse{Predictions: make([]Prediction, 0, len(reqs))}
+	for _, req := range reqs {
+		res := <-req.resp
+		if res.err != nil {
+			http.Error(w, res.err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		// With several samples racing a swap, report the newest version.
+		if res.seq >= resp.ModelSeq {
+			resp.ModelSeq, resp.ModelSource = res.seq, res.source
+		}
+		resp.Predictions = append(resp.Predictions, Prediction{Class: res.class, Probs: res.probs})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.cfg.Registry.Current() == nil {
+		http.Error(w, "no model", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleModelz(w http.ResponseWriter, _ *http.Request) {
+	v := s.cfg.Registry.Current()
+	if v == nil {
+		http.Error(w, "no model", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"seq": v.Seq, "source": v.Source, "at": v.At,
+		"model": s.cfg.Registry.Spec().Kind, "ckpt_bytes": len(v.Ckpt),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cfg.Metrics.Expvar())
+}
+
+// --- batch runner ---
+
+// runner owns one private model replica and executes micro-batches until
+// the queue closes and drains. Version swaps happen between batches: the
+// runner compares its replica's sequence against the registry on every
+// batch and restores from the new checkpoint when it changed, so requests
+// already in a batch always finish on the version they started with.
+func (s *Server) runner() {
+	defer s.runners.Done()
+	var model *nn.Model
+	seq := int64(-1)
+	var source string
+	for first := range s.queue {
+		batch := s.collect(first)
+		s.qDepth.Set(int64(len(s.queue)))
+
+		v := s.cfg.Registry.Current()
+		if v == nil {
+			s.fail(batch, errNoModel)
+			continue
+		}
+		if v.Seq != seq {
+			if model == nil {
+				model = s.cfg.Registry.Spec().Build()
+			}
+			if err := model.Restore(v.Ckpt); err != nil {
+				// Validated at publish; only memory corruption gets here.
+				s.fail(batch, fmt.Errorf("serve: restore version %d: %w", v.Seq, err))
+				seq = -1
+				continue
+			}
+			seq, source = v.Seq, v.Source
+		}
+
+		s.run(model, seq, source, batch)
+	}
+}
+
+// collect assembles a micro-batch around the first request: it keeps
+// admitting queued requests until the batch is full or MaxDelay has
+// passed. With MaxDelay 0 it takes only what is immediately available.
+func (s *Server) collect(first *request) []*request {
+	batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
+	if s.cfg.MaxBatch == 1 {
+		return batch
+	}
+	if s.cfg.MaxDelay == 0 {
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// run executes one micro-batch as a single forward pass and fans the rows
+// back out to their requests.
+func (s *Server) run(model *nn.Model, seq int64, source string, batch []*request) {
+	spec := s.cfg.Registry.Spec()
+	x := tensor.New(len(batch), spec.Channels, spec.Height, spec.Width)
+	for i, req := range batch {
+		copy(x.Data[i*s.inLen:(i+1)*s.inLen], req.x)
+	}
+	logits := model.Forward(x)
+	now := time.Now()
+	for i, req := range batch {
+		probs, class := softmaxRow(logits.Data[i*s.classes : (i+1)*s.classes])
+		req.resp <- result{seq: seq, source: source, class: class, probs: probs}
+		s.hLatency.Observe(now.Sub(req.enq).Seconds())
+	}
+	s.batches.Inc()
+	s.answered.Add(int64(len(batch)))
+	s.hBatch.Observe(float64(len(batch)))
+}
+
+// fail answers every request in the batch with err.
+func (s *Server) fail(batch []*request, err error) {
+	for _, req := range batch {
+		req.resp <- result{err: err}
+	}
+}
+
+// softmaxRow computes stable softmax probabilities and the argmax class
+// for one row of logits.
+func softmaxRow(logits []float32) ([]float32, int) {
+	maxV, class := float32(math.Inf(-1)), 0
+	for i, v := range logits {
+		if v > maxV {
+			maxV, class = v, i
+		}
+	}
+	probs := make([]float32, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxV))
+		probs[i] = float32(e)
+		sum += e
+	}
+	if sum > 0 {
+		inv := float32(1 / sum)
+		for i := range probs {
+			probs[i] *= inv
+		}
+	}
+	return probs, class
+}
+
+// --- TCP-bound convenience wrapper ---
+
+// HTTPServer is a Server bound to a TCP listener.
+type HTTPServer struct {
+	App *Server
+	hs  *http.Server
+	ln  net.Listener
+}
+
+// Listen builds a server from cfg and serves it on addr (use
+// "127.0.0.1:0" for an ephemeral port). It returns once listening.
+func Listen(cfg Config, addr string) (*HTTPServer, error) {
+	app, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		app.Shutdown(context.Background())
+		return nil, err
+	}
+	h := &HTTPServer{App: app, hs: &http.Server{Handler: app}, ln: ln}
+	go h.hs.Serve(ln)
+	return h, nil
+}
+
+// Addr returns the bound address.
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (h *HTTPServer) URL() string { return "http://" + h.Addr() }
+
+// Shutdown drains gracefully: the app stops admitting and answers every
+// in-flight request, then the HTTP server finishes its connections.
+func (h *HTTPServer) Shutdown(ctx context.Context) error {
+	appErr := h.App.Shutdown(ctx)
+	if err := h.hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	return appErr
+}
+
+// Close tears the server down without draining.
+func (h *HTTPServer) Close() error {
+	err := h.hs.Close()
+	h.App.Shutdown(context.Background())
+	return err
+}

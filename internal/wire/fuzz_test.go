@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dlion/internal/grad"
+	"dlion/internal/tensor"
+)
+
+// seedMessages covers every message type and both selection encodings, so
+// the fuzzers start from structurally valid frames and mutate from there.
+func seedMessages() []*Message {
+	dense := &grad.Selection{Var: "w", Total: 4, Dense: []float32{1, -2, 3.5, 0}}
+	sparse := &grad.Selection{Var: "fc1/w", Total: 8, Idx: []int32{0, 3, 7}, Val: []float32{0.1, -0.2, 0.3}}
+	weights := map[string]*tensor.Tensor{"conv1": tensor.FromSlice([]float32{1, 2, 3}, 3)}
+	return []*Message{
+		{Type: TypeGradient, From: 0, To: 1, Iter: 7, LBS: 32, Selections: []*grad.Selection{dense, sparse}},
+		{Type: TypeGradient, From: 2, To: 0, Iter: 1, LBS: 8, Selections: []*grad.Selection{{Var: "b", Total: 0}}},
+		{Type: TypeWeights, From: 1, To: 2, Iter: 42, Weights: weights},
+		{Type: TypeLossReport, From: 0, To: 1, Iter: 3, Loss: 0.25},
+		{Type: TypeDKTRequest, From: 1, To: 0, Iter: 9},
+		{Type: TypeRCPReport, From: 2, To: 1, Iter: 5, RCP: 0.4},
+		{Type: TypeSync, From: 0, To: 2, Iter: 11},
+	}
+}
+
+// FuzzDecode asserts Decode never panics: every input either yields a
+// structurally valid message or an error, and valid messages survive an
+// encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	for _, m := range seedMessages() {
+		f.Add(Encode(m))
+	}
+	// Adversarial seeds: empty, bare type byte, truncated header, huge
+	// declared counts.
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{byte(TypeGradient), 0, 0, 0, 0})
+	f.Add([]byte{byte(TypeWeights), 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("Decode returned both a message and an error")
+			}
+			return
+		}
+		// A decoded message must re-encode to exactly the input: the format
+		// has a canonical byte representation for every valid frame. Weights
+		// are exempt — their map iteration order varies between encodes.
+		if m.Type != TypeWeights && !bytes.Equal(Encode(m), data) {
+			t.Fatalf("re-encode mismatch for type %v", m.Type)
+		}
+	})
+}
+
+// FuzzReadFrame asserts the framed reader never panics and fails cleanly
+// on malformed prefixes, truncated payloads, and trailing garbage.
+func FuzzReadFrame(f *testing.F) {
+	for _, m := range seedMessages() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})      // length prefix past the cap
+	f.Add([]byte{16, 0, 0, 0, byte(TypeSync)}) // declared 16, delivered 1
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		m, err := ReadFrame(r)
+		if err != nil {
+			if m != nil {
+				t.Fatal("ReadFrame returned both a message and an error")
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("ReadFrame returned neither message nor error")
+		}
+	})
+}
+
+// TestReadFrameRejectsOversizedPrefix pins the MaxFrameBytes cap outside
+// the fuzzer, so `go test` alone covers the guard.
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0x05}) // ~83 MB little-endian
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err %v, want ErrCorrupt", err)
+	}
+	// A truthful prefix with a truncated body errors instead of blocking
+	// or panicking.
+	buf.Reset()
+	buf.Write([]byte{8, 0, 0, 0, byte(TypeSync)})
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err %v, want unexpected EOF", err)
+	}
+}

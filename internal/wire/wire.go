@@ -247,6 +247,9 @@ func decodeSelection(r *reader) (*grad.Selection, error) {
 	if err != nil {
 		return nil, err
 	}
+	if dense > 1 {
+		return nil, fmt.Errorf("%w: selection flag %d", ErrCorrupt, dense)
+	}
 	n, err := r.u32()
 	if err != nil {
 		return nil, err
@@ -293,6 +296,11 @@ func WriteFrame(w io.Writer, m *Message) error {
 	return err
 }
 
+// MaxFrameBytes caps a frame's payload length. It matches the queue
+// transport's 64 MB frame limit and bounds the allocation a corrupt or
+// hostile length prefix can force before the read fails.
+const MaxFrameBytes = 64 << 20
+
 // ReadFrame reads one length-prefixed message from r.
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
@@ -300,12 +308,18 @@ func ReadFrame(r io.Reader) (*Message, error) {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > 1<<30 {
+	if n > MaxFrameBytes {
 		return nil, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	// Read through a LimitReader instead of pre-allocating n bytes: a
+	// corrupt prefix claiming a huge frame then costs only what the peer
+	// actually sent before the truncation error.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
 		return nil, err
+	}
+	if uint32(len(payload)) != n {
+		return nil, io.ErrUnexpectedEOF
 	}
 	return Decode(payload)
 }
