@@ -3,7 +3,7 @@
 # reconnecting client, real-mode runtime, serving) plus the nn
 # checkpoint-vs-Forward concurrency tests; running it repo-wide would
 # multiply simulation test time ~20x for no extra coverage.
-.PHONY: check build vet test race fuzz-smoke bench bench-serve
+.PHONY: check build vet test race fuzz-smoke conformance bench bench-serve
 
 check: build vet test race fuzz-smoke
 
@@ -26,6 +26,13 @@ race:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire
+
+# Conformance harness (see TESTING.md): gradcheck on every nn layer,
+# sim<->realtime weight equivalence, and the golden convergence gates, all
+# under the race detector. Regenerate snapshots deliberately with
+#   go test ./internal/testkit -run Golden -update-golden
+conformance:
+	go test -race -count=1 ./internal/testkit/...
 
 # Kernel microbenchmarks, emitted as a BENCH JSON report (see METRICS.md).
 bench:

@@ -122,6 +122,15 @@ type Config struct {
 	// healthy peer can have (a few iteration times plus network delay).
 	LivenessTimeout float64
 
+	// MaxIters, when > 0, stops the worker after it completes that many
+	// iterations: no further batches are drawn and no further gradients are
+	// generated, while incoming messages keep being applied (peers finishing
+	// their own final iterations still land). 0 (the default) trains until
+	// the driver's horizon. The conformance harness uses it to run the same
+	// number of steps on the simulator and the realtime broker so final
+	// weights are comparable.
+	MaxIters int64
+
 	Batch BatchConfig
 	Sync  SyncConfig
 	DKT   DKTConfig
@@ -148,6 +157,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: %s: staleness %d", c.Name, c.Sync.Staleness)
 	case c.LivenessTimeout < 0:
 		return fmt.Errorf("core: %s: liveness timeout %v", c.Name, c.LivenessTimeout)
+	case c.MaxIters < 0:
+		return fmt.Errorf("core: %s: max iters %d", c.Name, c.MaxIters)
 	}
 	return nil
 }

@@ -387,6 +387,9 @@ func (w *Worker) currentLBS() int {
 // updates arriving meanwhile modify W only, mirroring a real worker whose
 // backward pass uses the weight snapshot it started from.
 func (w *Worker) startIteration() {
+	if w.cfg.MaxIters > 0 && w.iter >= w.cfg.MaxIters {
+		return // iteration budget exhausted; keep servicing messages only
+	}
 	w.lbs = w.currentLBS()
 	x, y := w.shard.NextBatch(w.lbs)
 	loss, _ := w.model.TrainStep(x, y)

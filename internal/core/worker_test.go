@@ -399,3 +399,49 @@ func TestUnknownVariableIgnored(t *testing.T) {
 	ws[0].HandleMessage(&wire.Message{Type: wire.TypeGradient, From: 1, To: 0,
 		Iter: 1, LBS: 8, Selections: []*grad.Selection{sel}})
 }
+
+func TestMaxItersStopsTraining(t *testing.T) {
+	cfg := asyncConfig()
+	cfg.MaxIters = 5
+	env := newFakeEnv(2, []float64{1, 1})
+	ws := buildCluster(t, cfg, env)
+	for _, w := range ws {
+		w.Start()
+	}
+	env.eng.Run(100) // far more than 5 iterations of headroom
+	for i, w := range ws {
+		if w.Iter() != 5 {
+			t.Fatalf("worker %d ran %d iters, want exactly 5", i, w.Iter())
+		}
+		// Peers' final-round gradients must still have been applied after the
+		// budget was exhausted: each worker hears 5 rounds from its one peer.
+		if got := w.Stats().MsgsRecvd; got != 5 {
+			t.Fatalf("worker %d received %d msgs, want 5", i, got)
+		}
+	}
+}
+
+func TestMaxItersSyncFull(t *testing.T) {
+	cfg := asyncConfig()
+	cfg.Sync.Mode = SyncFull
+	cfg.MaxIters = 7
+	env := newFakeEnv(2, []float64{1, 3}) // heterogeneous speeds
+	ws := buildCluster(t, cfg, env)
+	for _, w := range ws {
+		w.Start()
+	}
+	env.eng.Run(200)
+	for i, w := range ws {
+		if w.Iter() != 7 {
+			t.Fatalf("worker %d ran %d iters, want exactly 7", i, w.Iter())
+		}
+	}
+}
+
+func TestMaxItersValidation(t *testing.T) {
+	c := asyncConfig()
+	c.MaxIters = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative MaxIters must be rejected")
+	}
+}

@@ -2,6 +2,7 @@ package data
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -282,5 +283,76 @@ func TestBatchPropertyLabelsMatchImages(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSeedDeterminismAcrossGOMAXPROCS pins the conformance harness's
+// foundational assumption: generation, partitioning, and the per-shard
+// batch stream are pure functions of the seed, bit-identical whether the
+// runtime schedules one P or many. (Generation and shuffling are fully
+// sequential today; this test keeps them that way.)
+func TestSeedDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	type capture struct {
+		pixels  []float32
+		labels  []int
+		batches [][]int // label sequence of successive NextBatch calls per shard
+	}
+	run := func() capture {
+		var c capture
+		train, _, err := Generate(tinyConfig(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < train.Len(); i++ {
+			c.pixels = append(c.pixels, train.Image(i)...)
+			c.labels = append(c.labels, train.Label(i))
+		}
+		shards, err := Partition(train, 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range shards {
+			var seq []int
+			for k := 0; k < 40; k++ { // cross an epoch boundary: reshuffle included
+				_, y := s.NextBatch(7)
+				seq = append(seq, y...)
+			}
+			c.batches = append(c.batches, seq)
+		}
+		return c
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(prev)
+	if prev == 1 {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(1)
+	}
+	many := run()
+
+	if len(one.pixels) != len(many.pixels) {
+		t.Fatalf("pixel count %d vs %d", len(one.pixels), len(many.pixels))
+	}
+	for i := range one.pixels {
+		if one.pixels[i] != many.pixels[i] {
+			t.Fatalf("pixel %d differs across GOMAXPROCS: %v vs %v",
+				i, one.pixels[i], many.pixels[i])
+		}
+	}
+	for i := range one.labels {
+		if one.labels[i] != many.labels[i] {
+			t.Fatalf("label %d differs across GOMAXPROCS", i)
+		}
+	}
+	for s := range one.batches {
+		if len(one.batches[s]) != len(many.batches[s]) {
+			t.Fatalf("shard %d batch stream length differs", s)
+		}
+		for k := range one.batches[s] {
+			if one.batches[s][k] != many.batches[s][k] {
+				t.Fatalf("shard %d: batch stream diverges at position %d", s, k)
+			}
+		}
 	}
 }

@@ -250,44 +250,57 @@ func (n *Node) FlushSends(timeout time.Duration) bool {
 	return true
 }
 
-// Checkpoint snapshots the hosted worker's model without violating the
-// event-loop contract: the snapshot closure runs on the loop between
-// events, so it can never observe a model mid-TrainStep. It returns the
-// worker's completed iteration count alongside the checkpoint bytes —
-// the pair a serving registry needs for ordered hot-swaps. It is only
-// serviced while Run is executing; otherwise it fails once the node stops
-// or ctx expires.
-func (n *Node) Checkpoint(ctx context.Context) (int64, []byte, error) {
-	type snap struct {
-		iter int64
-		ckpt []byte
-	}
-	res := make(chan snap, 1)
+// Inspect runs fn on the node's event loop and waits for it to finish.
+// Between events the hosted worker is quiescent — never mid-TrainStep,
+// never mid-HandleMessage — so fn may read (or snapshot) any worker state
+// without racing the loop. fn must not block and must not call Inspect
+// recursively (the loop would deadlock). It is only serviced while Run is
+// executing; otherwise it fails once the node stops or ctx expires.
+func (n *Node) Inspect(ctx context.Context, fn func(w *core.Worker)) error {
+	ran := make(chan struct{})
 	job := func() {
-		res <- snap{iter: n.worker.Iter(), ckpt: n.worker.Model().Checkpoint()}
+		fn(n.worker)
+		close(ran)
 	}
 	select {
 	case n.loop <- job:
 	case <-n.done:
-		return 0, nil, fmt.Errorf("realtime: node stopped")
+		return fmt.Errorf("realtime: node stopped")
 	case <-ctx.Done():
-		return 0, nil, ctx.Err()
+		return ctx.Err()
 	}
 	select {
-	case s := <-res:
-		return s.iter, s.ckpt, nil
+	case <-ran:
+		return nil
 	case <-n.done:
 		// Run can exit between accepting the job and executing it; the
-		// buffered channel tells the two apart.
+		// closed channel tells the two apart.
 		select {
-		case s := <-res:
-			return s.iter, s.ckpt, nil
+		case <-ran:
+			return nil
 		default:
-			return 0, nil, fmt.Errorf("realtime: node stopped")
+			return fmt.Errorf("realtime: node stopped")
 		}
 	case <-ctx.Done():
-		return 0, nil, ctx.Err()
+		return ctx.Err()
 	}
+}
+
+// Checkpoint snapshots the hosted worker's model without violating the
+// event-loop contract: the snapshot closure runs on the loop between
+// events (via Inspect), so it can never observe a model mid-TrainStep. It
+// returns the worker's completed iteration count alongside the checkpoint
+// bytes — the pair a serving registry needs for ordered hot-swaps.
+func (n *Node) Checkpoint(ctx context.Context) (int64, []byte, error) {
+	var iter int64
+	var ckpt []byte
+	err := n.Inspect(ctx, func(w *core.Worker) {
+		iter, ckpt = w.Iter(), w.Model().Checkpoint()
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return iter, ckpt, nil
 }
 
 // NewNode builds a node and its worker. The model replica is built from

@@ -147,3 +147,56 @@ func TestNewNodeNilTransport(t *testing.T) {
 		t.Fatal("nil transport must error")
 	}
 }
+
+func TestInspectRunsOnLoopAndFailsAfterStop(t *testing.T) {
+	b := queue.NewBroker()
+	defer b.Close()
+	dc := data.Config{Name: "ins", NumClasses: 3, Train: 120, Test: 30,
+		Channels: 1, Height: 8, Width: 8, Noise: 0.4, Jitter: 0, Bumps: 3, Seed: 8}
+	train, _, err := data.Generate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := data.Partition(train, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := nn.CipherSpec(1, 8, 8, 3, 5)
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		nodes[i], err = NewNode(Config{ID: i, N: 2, System: realSystem(),
+			Spec: spec, Shard: shards[i], Transport: NewBrokerTransport(b, i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(nd *Node) { defer wg.Done(); _ = nd.Run(ctx) }(node)
+	}
+
+	// Inspect must observe a quiescent worker and see training progress.
+	deadline := time.Now().Add(budget(5 * time.Second))
+	var iter int64
+	for iter < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never reached 2 iterations")
+		}
+		ictx, icancel := context.WithTimeout(ctx, budget(time.Second))
+		err := nodes[0].Inspect(ictx, func(w *core.Worker) { iter = w.Iter() })
+		icancel()
+		if err != nil {
+			t.Fatalf("inspect: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	wg.Wait()
+	// After Run exits the node must refuse inspection rather than hang.
+	if err := nodes[0].Inspect(context.Background(), func(*core.Worker) {}); err == nil {
+		t.Fatal("Inspect after stop must fail")
+	}
+}

@@ -144,3 +144,99 @@ func TestIterTimePositiveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestScheduleBoundaries pins the exact semantics at step edges: a step
+// takes effect at its own time (closed on the left), the value before the
+// first step is the first value, and NextChange is strictly-after.
+func TestScheduleBoundaries(t *testing.T) {
+	s := Steps(1, 10, 2, 0, 3, 20)
+	cases := []struct{ t, want float64 }{
+		{0, 10},   // before the first step: first value extends backwards
+		{0.999, 10},
+		{1, 10},
+		{1.999, 10},
+		{2, 0},    // zero-capacity window opens exactly at its step time
+		{2.999, 0},
+		{3, 20},   // and closes exactly at the next
+		{100, 20}, // constant after the last step
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// NextChange at a step time skips to the following one.
+	if nc, ok := s.NextChange(2); !ok || nc != 3 {
+		t.Fatalf("NextChange(2) = %v,%v, want 3,true", nc, ok)
+	}
+	if _, ok := s.NextChange(3); ok {
+		t.Fatal("NextChange past the last step must report no change")
+	}
+	if nc, ok := s.NextChange(-5); !ok || nc != 1 {
+		t.Fatalf("NextChange(-5) = %v,%v, want 1,true", nc, ok)
+	}
+}
+
+// TestIterTimeZeroCapacityWindow drives IterTime through a schedule that
+// drops to zero mid-run: inside the window the 0.01-unit floor applies (a
+// stressed worker crawls, it never divides by zero or goes negative), and
+// capacity recovers to the schedule on the other side.
+func TestIterTimeZeroCapacityWindow(t *testing.T) {
+	c := New(Steps(0, 12, 10, 0, 20, 12), CostModel{Overhead: 0.05, PerSample: 0.5}, 1)
+	before := c.IterTime(8, 5)
+	inside := c.IterTime(8, 15)
+	after := c.IterTime(8, 25)
+	if before != after {
+		t.Fatalf("capacity did not recover: %v vs %v", before, after)
+	}
+	wantInside := 0.05 + 0.5*8/0.01
+	if inside != wantInside {
+		t.Fatalf("zero-capacity IterTime %v, want floored %v", inside, wantInside)
+	}
+	if inside <= before {
+		t.Fatal("zero-capacity window must be slower than nominal capacity")
+	}
+	// The boundaries belong to the new value on the left edge.
+	if got := c.IterTime(8, 10); got != wantInside {
+		t.Fatalf("IterTime at window-open boundary %v, want %v", got, wantInside)
+	}
+	if got := c.IterTime(8, 20); got != before {
+		t.Fatalf("IterTime at window-close boundary %v, want %v", got, before)
+	}
+}
+
+// TestSingleTickSchedule exercises a window so short only an exact
+// boundary hit sees it — a regression guard for schedule scans that
+// accumulate or interpolate instead of selecting the active step.
+func TestSingleTickSchedule(t *testing.T) {
+	s := Steps(0, 5, 10, 50, 10.001, 5)
+	if got := s.At(10); got != 50 {
+		t.Fatalf("At(10) = %v, want the single-tick value 50", got)
+	}
+	if got := s.At(10.0005); got != 50 {
+		t.Fatalf("At(10.0005) = %v, want 50", got)
+	}
+	if got := s.At(10.001); got != 5 {
+		t.Fatalf("At(10.001) = %v, want 5", got)
+	}
+	// Chained NextChange walks every tick exactly once.
+	times := []float64{}
+	t0 := -1.0
+	for {
+		nc, ok := s.NextChange(t0)
+		if !ok {
+			break
+		}
+		times = append(times, nc)
+		t0 = nc
+	}
+	want := []float64{0, 10, 10.001}
+	if len(times) != len(want) {
+		t.Fatalf("NextChange walk %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("NextChange walk %v, want %v", times, want)
+		}
+	}
+}

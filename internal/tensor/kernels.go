@@ -10,6 +10,16 @@ import (
 // it is read from every kernel call, so access must be atomic.
 var maxWorkers atomic.Int64
 
+// deterministic, when set, forces every kernel to execute its outer loop
+// inline on the calling goroutine. The kernels in this package already
+// produce bit-identical results at any worker count — each body(i) owns
+// output index i and reduces sequentially — but that is a property of the
+// current kernels, not of the parallelFor contract. Conformance runs
+// (gradcheck, sim↔realtime equivalence, golden gates in internal/testkit)
+// flip this switch so a future kernel with a cross-goroutine reduction
+// cannot silently make them order-dependent.
+var deterministic atomic.Bool
+
 func init() {
 	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
 }
@@ -24,10 +34,25 @@ func SetMaxWorkers(n int) int {
 	return int(maxWorkers.Swap(int64(n)))
 }
 
+// SetDeterministic toggles deterministic-reduction mode and returns the
+// previous setting. While enabled, kernels run sequentially regardless of
+// SetMaxWorkers/GOMAXPROCS, guaranteeing bit-reproducible float32 results.
+// Safe to call while kernels run on other goroutines; per-call sequential
+// execution does not serialize independent callers against each other.
+func SetDeterministic(on bool) bool {
+	return deterministic.Swap(on)
+}
+
+// Deterministic reports whether deterministic-reduction mode is enabled.
+func Deterministic() bool { return deterministic.Load() }
+
 // parallelFor runs body(i) for i in [0,n) across up to maxWorkers goroutines.
 // Small ranges run inline to avoid goroutine overhead.
 func parallelFor(n int, body func(i int)) {
 	workers := int(maxWorkers.Load())
+	if deterministic.Load() {
+		workers = 1
+	}
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,97 @@
+package testkit
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// budget scales wall-clock allowances for the race detector's slowdown.
+func budget(d time.Duration) time.Duration {
+	if raceEnabled {
+		return d * 6
+	}
+	return d
+}
+
+// TestSimDeterminism: the discrete-event simulator must be bit-reproducible
+// — two runs of the same seeded workload yield identical per-variable
+// weight hashes on every worker.
+func TestSimDeterminism(t *testing.T) {
+	cfg := EquivalenceConfig{N: 2, Steps: 10, Seed: 42}
+	a, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weights {
+		if !EqualDigests(DigestWeights(a.Weights[i]), DigestWeights(b.Weights[i])) {
+			t.Fatalf("worker %d: repeated sim runs diverged bitwise", i)
+		}
+	}
+}
+
+// TestSimRealtimeEquivalence trains the same seeded Cipher workload on the
+// simulator and over the in-proc broker and requires the final weights to
+// agree per variable: bit-identical when no float32 reordering occurred,
+// tolerance-bounded otherwise. SyncFull + fixed batching pins the gradient
+// sequence, so the structural counters must match exactly on both
+// substrates — that part has zero tolerance.
+func TestSimRealtimeEquivalence(t *testing.T) {
+	const steps = 24
+	cases := []struct {
+		name           string
+		n              int
+		sparse         bool
+		absTol, relTol float64
+	}{
+		// Dense exchange applies identical gradient sets on both
+		// substrates; only apply order differs, so drift is rounding-scale.
+		{"dense-2w", 2, false, 5e-3, 5e-2},
+		{"dense-4w", 4, false, 1e-2, 5e-2},
+		// Sparse Max-N selection thresholds can flip on order-induced
+		// drift, so the bound is looser (observed max |Δ| ≈ 0.027 over
+		// repeated runs; the floor leaves ~2x headroom).
+		{"sparse-2w", 2, true, 2e-2, 1e-1},
+		{"sparse-4w", 4, true, 5e-2, 1e-1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := EquivalenceConfig{N: tc.n, Steps: steps, Seed: 7, Sparse: tc.sparse}
+			sim, err := RunSim(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), budget(60*time.Second))
+			defer cancel()
+			rt, err := RunRealtime(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			wantMsgs := int64(tc.n-1) * steps
+			for i := 0; i < tc.n; i++ {
+				if sim.Iters[i] != steps || rt.Iters[i] != steps {
+					t.Fatalf("worker %d: iterations sim=%d realtime=%d, want %d",
+						i, sim.Iters[i], rt.Iters[i], steps)
+				}
+				if sim.Stats[i].MsgsRecvd != wantMsgs || rt.Stats[i].MsgsRecvd != wantMsgs {
+					t.Fatalf("worker %d: msgs recvd sim=%d realtime=%d, want %d",
+						i, sim.Stats[i].MsgsRecvd, rt.Stats[i].MsgsRecvd, wantMsgs)
+				}
+				if EqualDigests(DigestWeights(sim.Weights[i]), DigestWeights(rt.Weights[i])) {
+					continue // bit-identical, the strongest outcome
+				}
+				if err := CompareWeights(sim.Weights[i], rt.Weights[i], tc.absTol, tc.relTol); err != nil {
+					t.Fatalf("worker %d: %v", i, err)
+				}
+				t.Logf("worker %d: tolerance-bounded agreement, max |Δ| = %.3g",
+					i, MaxAbsDiff(sim.Weights[i], rt.Weights[i]))
+			}
+		})
+	}
+}

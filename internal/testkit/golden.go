@@ -1,0 +1,129 @@
+package testkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"dlion/internal/cluster"
+)
+
+// Golden is a committed convergence snapshot of one seeded simulator run:
+// the accuracy/loss timeline plus per-worker iteration counts. Snapshots
+// live in testdata/golden/*.json and gate CI — a change that shifts
+// convergence beyond GoldenTol fails the golden tests until the snapshot
+// is deliberately regenerated with -update-golden (see TESTING.md).
+type Golden struct {
+	System string        `json:"system"`
+	Seed   uint64        `json:"seed"`
+	Iters  []int64       `json:"iters"`
+	Points []GoldenPoint `json:"points"`
+}
+
+// GoldenPoint is one periodic evaluation: virtual time, mean test accuracy
+// across workers, and mean test loss.
+type GoldenPoint struct {
+	T    float64 `json:"t"`
+	Acc  float64 `json:"acc"`
+	Loss float64 `json:"loss"`
+}
+
+// GoldenTol bounds how far a run may drift from its snapshot before the
+// gate fails. The simulator is bit-deterministic, so on unchanged code the
+// drift is exactly zero; the tolerances exist so benign float32-order
+// refactors don't force a regeneration.
+type GoldenTol struct {
+	Acc      float64 // per-point mean-accuracy tolerance (default 0.05)
+	Loss     float64 // per-point mean-loss tolerance (default 0.15)
+	IterFrac float64 // per-worker iteration-count tolerance, fractional (default 0.02)
+}
+
+func (t GoldenTol) withDefaults() GoldenTol {
+	if t.Acc == 0 {
+		t.Acc = 0.05
+	}
+	if t.Loss == 0 {
+		t.Loss = 0.15
+	}
+	if t.IterFrac == 0 {
+		t.IterFrac = 0.02
+	}
+	return t
+}
+
+// GoldenFromResult extracts the snapshot-worthy view of a sim run.
+func GoldenFromResult(system string, seed uint64, res *cluster.Result) Golden {
+	g := Golden{System: system, Seed: seed,
+		Iters: append([]int64(nil), res.Iters...)}
+	for _, p := range res.Timeline {
+		g.Points = append(g.Points, GoldenPoint{T: p.T, Acc: p.Mean, Loss: p.Loss})
+	}
+	return g
+}
+
+// LoadGolden reads a snapshot from disk.
+func LoadGolden(path string) (Golden, error) {
+	var g Golden
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return g, err
+	}
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return g, fmt.Errorf("testkit: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// SaveGolden writes a snapshot, creating parent directories as needed.
+func SaveGolden(path string, g Golden) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// CompareGolden checks a fresh run against its snapshot: identical
+// structure (worker count, evaluation schedule) and convergence within
+// tolerance at every evaluation point.
+func CompareGolden(want, got Golden, tol GoldenTol) error {
+	tol = tol.withDefaults()
+	if want.System != got.System || want.Seed != got.Seed {
+		return fmt.Errorf("testkit: golden identity mismatch: %s/%d vs %s/%d",
+			want.System, want.Seed, got.System, got.Seed)
+	}
+	if len(want.Iters) != len(got.Iters) {
+		return fmt.Errorf("testkit: golden worker count %d vs %d",
+			len(want.Iters), len(got.Iters))
+	}
+	for i := range want.Iters {
+		lim := math.Max(1, tol.IterFrac*float64(want.Iters[i]))
+		if math.Abs(float64(want.Iters[i]-got.Iters[i])) > lim {
+			return fmt.Errorf("testkit: golden worker %d iterations %d, want %d (±%.0f)",
+				i, got.Iters[i], want.Iters[i], lim)
+		}
+	}
+	if len(want.Points) != len(got.Points) {
+		return fmt.Errorf("testkit: golden eval count %d vs %d (schedule changed?)",
+			len(want.Points), len(got.Points))
+	}
+	for i, wp := range want.Points {
+		gp := got.Points[i]
+		switch {
+		case math.Abs(wp.T-gp.T) > 1e-9:
+			return fmt.Errorf("testkit: golden point %d at t=%v, want t=%v", i, gp.T, wp.T)
+		case math.Abs(wp.Acc-gp.Acc) > tol.Acc:
+			return fmt.Errorf("testkit: golden point %d (t=%v) accuracy %.4f, want %.4f ±%.3f",
+				i, wp.T, gp.Acc, wp.Acc, tol.Acc)
+		case math.Abs(wp.Loss-gp.Loss) > tol.Loss || math.IsNaN(gp.Loss):
+			return fmt.Errorf("testkit: golden point %d (t=%v) loss %.4f, want %.4f ±%.3f",
+				i, wp.T, gp.Loss, wp.Loss, tol.Loss)
+		}
+	}
+	return nil
+}

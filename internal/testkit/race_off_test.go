@@ -1,0 +1,6 @@
+//go:build !race
+
+package testkit
+
+// raceEnabled scales wall-clock budgets for the race detector's slowdown.
+const raceEnabled = false

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -186,5 +187,170 @@ func TestMsgTypeString(t *testing.T) {
 	}
 	if MsgType(200).String() != "MsgType(200)" {
 		t.Fatal(MsgType(200).String())
+	}
+}
+
+// TestRoundTripEdgeCases covers the payload corners the property test is
+// unlikely to hit: empty tensors, single-element sparse selections,
+// non-finite float bit patterns, and the dense/sparse representation
+// boundary. Float comparisons go through Float32bits so NaN payloads
+// (which compare unequal to themselves) are checked exactly.
+func TestRoundTripEdgeCases(t *testing.T) {
+	nanPayload := math.Float32frombits(0x7fc00001) // quiet NaN, nonzero payload
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		msg  *Message
+	}{
+		{"gradient heartbeat, no selections", &Message{
+			Type: TypeGradient, From: 0, To: 1, Iter: 9, LBS: 8}},
+		{"empty dense selection", &Message{
+			Type: TypeGradient, From: 1, To: 0, Iter: 1, LBS: 8,
+			Selections: []*grad.Selection{
+				{Var: "fc/b", Total: 0, Dense: []float32{}}}}},
+		{"empty sparse selection", &Message{
+			Type: TypeGradient, From: 1, To: 0, Iter: 1, LBS: 8,
+			Selections: []*grad.Selection{
+				{Var: "fc/b", Total: 5}}}},
+		{"single-element sparse", &Message{
+			Type: TypeGradient, From: 2, To: 3, Iter: 77, LBS: 1,
+			Selections: []*grad.Selection{
+				{Var: "conv/W", Total: 1000, Idx: []int32{999}, Val: []float32{-0.25}}}}},
+		{"nan and inf gradient values", &Message{
+			Type: TypeGradient, From: 0, To: 1, Iter: 2, LBS: 4,
+			Selections: []*grad.Selection{
+				{Var: "a/W", Total: 3, Dense: []float32{nanPayload, inf, -inf}},
+				{Var: "b/W", Total: 8, Idx: []int32{0, 7}, Val: []float32{inf, nanPayload}}}}},
+		{"empty weights tensor", &Message{
+			Type: TypeWeights, From: 4, To: 5, Iter: 3,
+			Weights: map[string]*tensor.Tensor{
+				"empty/W": tensor.FromSlice([]float32{}, 0)}}},
+		{"nan weights", &Message{
+			Type: TypeWeights, From: 4, To: 5, Iter: 3,
+			Weights: map[string]*tensor.Tensor{
+				"w/W": tensor.FromSlice([]float32{nanPayload, inf}, 2)}}},
+		{"negative iter and ids", &Message{
+			Type: TypeGradient, From: -1, To: -2, Iter: -5, LBS: -3}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			raw := Encode(tc.msg)
+			// grad.Selection accounts per-variable framing with a fixed
+			// 24-byte estimate, so gradient sizes carry that much slack per
+			// selection; every other type must be byte-exact.
+			want, slack := tc.msg.WireBytes(), 0
+			if tc.msg.Type == TypeGradient {
+				slack = 24 * len(tc.msg.Selections)
+			}
+			if diff := want - len(raw); diff < 0 || diff > slack {
+				t.Fatalf("WireBytes %d, encoded %d (allowed slack %d)", want, len(raw), slack)
+			}
+			got, err := Decode(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertMessageBitsEqual(t, tc.msg, got)
+		})
+	}
+}
+
+// assertMessageBitsEqual compares two messages with float32 fields reduced
+// to their bit patterns, so NaN != NaN semantics cannot hide a corruption.
+func assertMessageBitsEqual(t *testing.T, want, got *Message) {
+	t.Helper()
+	if want.Type != got.Type || want.From != got.From || want.To != got.To ||
+		want.Iter != got.Iter || want.LBS != got.LBS {
+		t.Fatalf("header mismatch: %+v vs %+v", want, got)
+	}
+	if len(want.Selections) != len(got.Selections) {
+		t.Fatalf("selection count %d vs %d", len(want.Selections), len(got.Selections))
+	}
+	for i, ws := range want.Selections {
+		gs := got.Selections[i]
+		if ws.Var != gs.Var || ws.Total != gs.Total {
+			t.Fatalf("selection %d header: %+v vs %+v", i, ws, gs)
+		}
+		if (ws.Dense != nil) != (gs.Dense != nil) {
+			t.Fatalf("selection %d: dense flag flipped in transit", i)
+		}
+		if !bitsEqual(ws.Dense, gs.Dense) || !bitsEqual(ws.Val, gs.Val) {
+			t.Fatalf("selection %d values: %+v vs %+v", i, ws, gs)
+		}
+		if len(ws.Idx) != len(gs.Idx) {
+			t.Fatalf("selection %d idx len", i)
+		}
+		for k := range ws.Idx {
+			if ws.Idx[k] != gs.Idx[k] {
+				t.Fatalf("selection %d idx[%d]", i, k)
+			}
+		}
+	}
+	if len(want.Weights) != len(got.Weights) {
+		t.Fatalf("weights count %d vs %d", len(want.Weights), len(got.Weights))
+	}
+	for name, wt := range want.Weights {
+		gt, ok := got.Weights[name]
+		if !ok || !bitsEqual(wt.Data, gt.Data) {
+			t.Fatalf("weights %q: %+v vs %+v", name, wt, gt)
+		}
+	}
+}
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDenseSparsEquivalentApplication: a dense selection and the sparse
+// selection enumerating every index carry the same update; after a round
+// trip through the wire both must apply identically. The wire must also
+// preserve which representation was chosen — the dense flag is part of
+// the sender's bandwidth accounting.
+func TestDenseSparseEquivalentApplication(t *testing.T) {
+	vals := []float32{0.5, -1.5, 2.25, 0}
+	dense := &grad.Selection{Var: "v", Total: 4, Dense: vals}
+	sparse := &grad.Selection{Var: "v", Total: 4,
+		Idx: []int32{0, 1, 2, 3}, Val: vals}
+
+	apply := func(s *grad.Selection) []float32 {
+		m := &Message{Type: TypeGradient, From: 0, To: 1, Iter: 1, LBS: 8,
+			Selections: []*grad.Selection{s}}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float32, 4)
+		if err := got.Selections[0].AddTo(dst, 2); err != nil {
+			t.Fatal(err)
+		}
+		return dst
+	}
+	dd, ds := apply(dense), apply(sparse)
+	for i := range dd {
+		if dd[i] != ds[i] {
+			t.Fatalf("dense/sparse application diverges at %d: %v vs %v", i, dd[i], ds[i])
+		}
+	}
+	// Representation is preserved, not canonicalized away.
+	rt, err := Decode(Encode(&Message{Type: TypeGradient, Iter: 1, LBS: 8,
+		Selections: []*grad.Selection{dense, sparse}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Selections[0].Dense == nil || rt.Selections[1].Dense != nil {
+		t.Fatal("selection representation flipped through the wire")
+	}
+	// The sparse encoding of a full variable costs twice the dense bytes —
+	// the reason selectVariable canonicalizes full selections to dense.
+	if dense.Bytes() >= sparse.Bytes() {
+		t.Fatalf("dense %dB should be cheaper than sparse %dB", dense.Bytes(), sparse.Bytes())
 	}
 }
