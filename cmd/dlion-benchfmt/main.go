@@ -3,9 +3,16 @@
 // from stdin, echoes every line so the run stays visible, and writes a
 // "kernel-bench" report to -out.
 //
+// With -baseline it also compares the fresh run against a previously
+// committed report, printing per-benchmark deltas (ns/op, allocs/op, MB/s).
+// When -regress is set to a positive percentage, any benchmark whose ns/op
+// worsens by more than that threshold fails the run with a nonzero exit —
+// the perf gate used by `make bench`.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/tensor/... | dlion-benchfmt -out BENCH_kernels.json
+//	go test -bench=. -benchmem ./... | dlion-benchfmt -baseline BENCH_kernels.json -regress 20
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"dlion/internal/obs"
@@ -20,10 +28,26 @@ import (
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_kernels.json", "output file for the kernel-bench JSON report")
-		name = flag.String("name", "kernels", "report name")
+		out      = flag.String("out", "BENCH_kernels.json", "output file for the kernel-bench JSON report")
+		name     = flag.String("name", "kernels", "report name")
+		baseline = flag.String("baseline", "", "prior kernel-bench JSON report to diff against (read before -out is overwritten)")
+		regress  = flag.Float64("regress", 0, "fail (exit 1) when any benchmark's ns/op worsens by more than this percentage vs -baseline; 0 disables the gate")
 	)
 	flag.Parse()
+
+	// Load the baseline FIRST: -baseline and -out usually name the same file,
+	// and the old numbers must survive being overwritten below.
+	var base *obs.Report
+	if *baseline != "" {
+		var err error
+		base, err = obs.ReadFile(*baseline)
+		if err != nil {
+			// A missing or unreadable baseline is not an error: first runs and
+			// fresh clones have nothing to compare against yet.
+			fmt.Fprintf(os.Stderr, "dlion-benchfmt: no usable baseline (%v); skipping comparison\n", err)
+			base = nil
+		}
+	}
 
 	// Tee stdin: echo to stdout while ParseGoBench scans for benchmark lines.
 	pr, pw := io.Pipe()
@@ -59,6 +83,65 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+
+	if base != nil {
+		if !compare(base, results, *regress) {
+			fmt.Fprintf(os.Stderr, "dlion-benchfmt: ns/op regression beyond %.1f%% vs %s\n", *regress, *baseline)
+			os.Exit(1)
+		}
+	}
+}
+
+// compare prints a per-benchmark delta table against the baseline report and
+// reports whether the run stays within the regression threshold (regressPct
+// <= 0 disables the gate). Positive deltas mean slower / more allocations.
+func compare(base *obs.Report, results []obs.BenchResult, regressPct float64) bool {
+	old := make(map[string]obs.BenchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Printf("\ndelta vs baseline %q:\n", base.Name)
+	fmt.Printf("  %-34s %14s %14s %9s %12s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "Δallocs/op", "ΔMB/s")
+	ok := true
+	for _, b := range results {
+		o, found := old[b.Name]
+		if !found {
+			fmt.Printf("  %-34s %14s %14.0f %9s (new benchmark)\n", b.Name, "-", b.NsPerOp, "-")
+			continue
+		}
+		delete(old, b.Name)
+		dns := pctDelta(o.NsPerOp, b.NsPerOp)
+		fmt.Printf("  %-34s %14.0f %14.0f %8.1f%% %11s %9s\n",
+			b.Name, o.NsPerOp, b.NsPerOp, dns,
+			fmtDelta(o.AllocsPerOp, b.AllocsPerOp), fmtDelta(o.MBPerSec, b.MBPerSec))
+		if regressPct > 0 && dns > regressPct {
+			ok = false
+		}
+	}
+	for n := range old {
+		fmt.Printf("  %-34s missing from this run (present in baseline)\n", n)
+	}
+	return ok
+}
+
+// pctDelta returns the percentage change from old to new (positive = grew).
+func pctDelta(old, cur float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - old) / old * 100
+}
+
+// fmtDelta renders an optional metric delta, "-" when neither side has it.
+func fmtDelta(old, cur float64) string {
+	if old == 0 && cur == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", pctDelta(old, cur))
 }
 
 func fatal(err error) {

@@ -79,3 +79,27 @@ func BenchmarkSelectionAddTo(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMaxNQuickselect measures the quickselect top-k index selection
+// that TopK.Select runs per variable; BenchmarkMaxNSortBaseline is the
+// previous full-sort implementation on the same input, kept as the
+// comparison point (topKIndicesSort).
+func BenchmarkMaxNQuickselect(b *testing.B) {
+	ps := benchParams(100_000)
+	g := ps[0].G.Data
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topKIndices(g, 1000)
+	}
+}
+
+func BenchmarkMaxNSortBaseline(b *testing.B) {
+	ps := benchParams(100_000)
+	g := ps[0].G.Data
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topKIndicesSort(g, 1000)
+	}
+}

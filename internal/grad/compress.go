@@ -107,20 +107,108 @@ func (t *TopK) Select(to int, params []*nn.Param, budgetBytes int) []*Selection 
 	return out
 }
 
-// topKIndices returns the indices of the k largest |values|, ascending by
-// index for cache-friendly application.
+// magBefore reports whether index a ranks strictly before index b in the
+// selection order: larger |g| first, NaN above everything (a NaN gradient is
+// a signal worth transmitting, and ranking it top keeps the order total),
+// ascending index on ties. Because ties break on the index, this is a strict
+// total order over distinct indices — the property quickselect's Hoare
+// partition relies on.
+func magBefore(g []float32, a, b int) bool {
+	av, bv := abs32(g[a]), abs32(g[b])
+	aNaN, bNaN := av != av, bv != bv
+	switch {
+	case aNaN && bNaN:
+		return a < b
+	case aNaN:
+		return true
+	case bNaN:
+		return false
+	case av != bv:
+		return av > bv
+	default:
+		return a < b
+	}
+}
+
+// topKIndices returns the indices of the k largest |values| under the
+// magBefore order, ascending by index for cache-friendly application.
+// Selection is O(n) expected (quickselect) plus O(k log k) to re-sort the
+// chosen indices — the previous full sort.Slice was O(n log n) with an
+// interface-call comparator on every element, and dominated TopK.Select on
+// large variables.
 func topKIndices(g []float32, k int) []int {
 	idx := make([]int, len(g))
 	for i := range idx {
 		idx[i] = i
 	}
-	// partial selection: full sort is fine at our sizes and simplest
+	quickSelectTopK(g, idx, k)
+	idx = idx[:k]
+	sort.Ints(idx)
+	return idx
+}
+
+// topKIndicesSort is the reference selection: a full deterministic sort under
+// the same magBefore order. Kept for equivalence tests and as the benchmark
+// baseline for the quickselect path.
+func topKIndicesSort(g []float32, k int) []int {
+	idx := make([]int, len(g))
+	for i := range idx {
+		idx[i] = i
+	}
 	sort.Slice(idx, func(a, b int) bool {
-		return abs32(g[idx[a]]) > abs32(g[idx[b]])
+		return magBefore(g, idx[a], idx[b])
 	})
 	idx = idx[:k]
 	sort.Ints(idx)
 	return idx
+}
+
+// quickSelectTopK partitions idx so that its first k entries are the top k
+// under magBefore (in unspecified internal order). Median-of-three Hoare
+// quickselect; since magBefore is a strict total order over distinct
+// indices, the partition needs no equal-element handling.
+func quickSelectTopK(g []float32, idx []int, k int) {
+	if k <= 0 || k >= len(idx) {
+		return
+	}
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if magBefore(g, idx[mid], idx[lo]) {
+			idx[lo], idx[mid] = idx[mid], idx[lo]
+		}
+		if magBefore(g, idx[hi], idx[lo]) {
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+		if magBefore(g, idx[hi], idx[mid]) {
+			idx[mid], idx[hi] = idx[hi], idx[mid]
+		}
+		pivot := idx[mid]
+		i, j := lo, hi
+		for i <= j {
+			for magBefore(g, idx[i], pivot) {
+				i++
+			}
+			for magBefore(g, pivot, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// idx[lo..j] now rank before idx[i..hi]; recurse into the side
+		// holding the k-th boundary.
+		switch {
+		case k-1 <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
 }
 
 // RandomK sparsifies by sending k uniformly random coordinates per

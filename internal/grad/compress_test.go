@@ -175,3 +175,68 @@ func TestCompressConstructorPanics(t *testing.T) {
 		t.Fatal("names")
 	}
 }
+
+// TestQuickselectMatchesSortReference pins topKIndices (quickselect) to the
+// full-sort reference under the magBefore order, on exactly the inputs where
+// a selection algorithm can silently diverge: ties by magnitude, duplicate
+// values, signed pairs, NaN gradients, and all-equal arrays. Because ties
+// break on the index, both paths must return the identical index set in the
+// identical (ascending) order.
+func TestQuickselectMatchesSortReference(t *testing.T) {
+	nan := float32(math.NaN())
+	cases := map[string][]float32{
+		"ties":       {1, -1, 1, -1, 1, -1, 1, -1},
+		"duplicates": {3, 3, 3, 2, 2, 2, 1, 1, 1, 0, 0},
+		"allEqual":   {7, 7, 7, 7, 7, 7},
+		"allZero":    {0, 0, 0, 0, 0},
+		"oneNaN":     {1, 2, nan, 4, 0.5, -3},
+		"manyNaN":    {nan, 1, nan, -2, nan, 0},
+		"negZero":    {float32(math.Copysign(0, -1)), 0, 1, -1, 0},
+		"single":     {42},
+	}
+	for name, g := range cases {
+		for k := 1; k <= len(g); k++ {
+			got := topKIndices(g, k)
+			want := topKIndicesSort(g, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: len %d vs %d", name, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s k=%d: quickselect %v, sort reference %v", name, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickselectMatchesSortRandom is the property version: random gradients
+// with injected zeros, duplicates, and NaNs across many sizes and cut points.
+func TestQuickselectMatchesSortRandom(t *testing.T) {
+	rng := stats.NewRNG(99)
+	nan := float32(math.NaN())
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + int(rng.Uint64()%300)
+		g := make([]float32, n)
+		for i := range g {
+			switch rng.Uint64() % 8 {
+			case 0:
+				g[i] = 0
+			case 1:
+				g[i] = nan
+			case 2:
+				g[i] = 1.5 // force cross-index magnitude ties
+			default:
+				g[i] = float32(rng.NormFloat64())
+			}
+		}
+		k := 1 + int(rng.Uint64()%uint64(n))
+		got := topKIndices(g, k)
+		want := topKIndicesSort(g, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d n=%d k=%d: quickselect %v, sort reference %v", trial, n, k, got, want)
+			}
+		}
+	}
+}

@@ -108,3 +108,46 @@ func TestConcurrentCheckpointForward(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentWorkspaceForward exercises the arena under concurrency: each
+// goroutine owns a private replica (and therefore a private Workspace — the
+// arena is per-model by contract, DESIGN.md §9) restored from the same
+// checkpoint, and runs Forward in a tight loop so every pass recycles the
+// previous pass's buffers. Outputs must stay bit-identical to the reference
+// on every iteration; under -race, any arena buffer leaking between models
+// or a stale recycled buffer influencing results shows up here.
+func TestConcurrentWorkspaceForward(t *testing.T) {
+	spec := CipherSpec(1, 8, 8, 3, 11)
+	rng := stats.NewRNG(23)
+	x, _ := smallBatch(rng, 8, 1, 8, 8, 3)
+
+	src := spec.Build()
+	ckpt := src.Checkpoint()
+	// Copy the reference output: Forward's result aliases arena memory and is
+	// only valid until the model's next pass.
+	want := append([]float32(nil), src.Forward(x).Data...)
+
+	const goroutines, iters = 4, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := spec.Build()
+			if err := m.Restore(ckpt); err != nil {
+				t.Errorf("goroutine %d: restore: %v", g, err)
+				return
+			}
+			for it := 0; it < iters; it++ {
+				out := m.Forward(x)
+				for j := range want {
+					if out.Data[j] != want[j] {
+						t.Errorf("goroutine %d iter %d: output diverged at %d", g, it, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -5,9 +5,53 @@ import (
 	"dlion/internal/tensor"
 )
 
+// workspaceUser is implemented by layers that draw activations and scratch
+// from a model-owned arena. NewModel injects its workspace into every layer
+// that implements it; a standalone layer keeps a nil workspace, which makes
+// every arena call degrade to a plain heap allocation.
+type workspaceUser interface {
+	setWorkspace(ws *tensor.Workspace)
+}
+
+// arena is the per-layer handle to the model workspace plus the layer's
+// retained previous outputs. The recycling discipline (DESIGN.md §9): a
+// layer owns the tensors it returns and recycles each one at the start of
+// producing its successor — by which point the rest of the model has
+// finished reading it (Forward outputs are consumed by the next layer and
+// the loss, Backward outputs by the preceding layer, all before the next
+// pass begins).
+type arena struct {
+	ws     *tensor.Workspace
+	prevY  *tensor.Tensor
+	prevDx *tensor.Tensor
+}
+
+func (a *arena) setWorkspace(ws *tensor.Workspace) { a.ws = ws }
+
+// nextY recycles the layer's previous Forward output and draws the next
+// one. The returned buffer is dirty; callers must write every element.
+func (a *arena) nextY(shape ...int) *tensor.Tensor {
+	a.ws.Put(a.prevY)
+	a.prevY = a.ws.Get(shape...)
+	return a.prevY
+}
+
+// nextDx recycles the layer's previous Backward output and draws the next
+// one, zeroed when the caller accumulates instead of overwriting.
+func (a *arena) nextDx(zeroed bool, shape ...int) *tensor.Tensor {
+	a.ws.Put(a.prevDx)
+	if zeroed {
+		a.prevDx = a.ws.GetZeroed(shape...)
+	} else {
+		a.prevDx = a.ws.Get(shape...)
+	}
+	return a.prevDx
+}
+
 // Dense is a fully-connected layer: y = x·Wᵀ + b for x (batch, in),
 // W (out, in), b (out).
 type Dense struct {
+	arena
 	name    string
 	In, Out int
 	w, b    *Param
@@ -37,7 +81,7 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	d.x = x
 	batch := x.Shape[0]
-	y := tensor.New(batch, d.Out)
+	y := d.nextY(batch, d.Out)
 	tensor.MatMulTransB(y, x, d.w.W)
 	for i := 0; i < batch; i++ {
 		row := y.Data[i*d.Out : (i+1)*d.Out]
@@ -52,16 +96,17 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	batch := d.x.Shape[0]
 	// dW += doutᵀ·x ; shapes: dout (batch,out), x (batch,in), dW (out,in)
-	dw := tensor.New(d.Out, d.In)
+	dw := d.ws.Get(d.Out, d.In) // scratch; MatMulTransA writes every element
 	tensor.MatMulTransA(dw, dout, d.x)
 	d.w.G.Add(dw)
+	d.ws.Put(dw)
 	for i := 0; i < batch; i++ {
 		row := dout.Data[i*d.Out : (i+1)*d.Out]
 		for j, v := range row {
 			d.b.G.Data[j] += v
 		}
 	}
-	dx := tensor.New(batch, d.In)
+	dx := d.nextDx(false, batch, d.In)
 	tensor.MatMul(dx, dout, d.w.W)
 	return dx
 }
@@ -70,6 +115,7 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // as im2col + matmul. Output channels = Filters, kernel KxK, given stride
 // and zero-padding.
 type Conv2D struct {
+	arena
 	name                string
 	InCh, Filters       int
 	K, Stride, Pad      int
@@ -104,12 +150,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c.x, c.inH, c.inW = x, h, w
 	c.outH = (h+2*c.Pad-c.K)/c.Stride + 1
 	c.out = (w+2*c.Pad-c.K)/c.Stride + 1
-	c.cols = tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad) // (batch*oh*ow, inCh*K*K)
+	// Columns live until this iteration's Backward; recycle last iteration's.
+	c.ws.Put(c.cols)
+	c.cols = tensor.Im2ColWS(c.ws, x, c.K, c.K, c.Stride, c.Pad) // (batch*oh*ow, inCh*K*K)
 	// y_cols (batch*oh*ow, filters) = cols · Wᵀ
-	yc := tensor.New(batch*c.outH*c.out, c.Filters)
+	yc := c.ws.Get(batch*c.outH*c.out, c.Filters) // scratch; fully written
 	tensor.MatMulTransB(yc, c.cols, c.w.W)
 	// rearrange to (batch, filters, oh, ow) and add bias
-	y := tensor.New(batch, c.Filters, c.outH, c.out)
+	y := c.nextY(batch, c.Filters, c.outH, c.out)
 	plane := c.outH * c.out
 	for n := 0; n < batch; n++ {
 		for p := 0; p < plane; p++ {
@@ -119,6 +167,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	c.ws.Put(yc)
 	return y
 }
 
@@ -127,7 +176,7 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	batch := c.x.Shape[0]
 	plane := c.outH * c.out
 	// Rearrange dout (batch, filters, oh, ow) into (batch*oh*ow, filters).
-	dyc := tensor.New(batch*plane, c.Filters)
+	dyc := c.ws.Get(batch*plane, c.Filters) // scratch; fully written
 	for n := 0; n < batch; n++ {
 		for f := 0; f < c.Filters; f++ {
 			src := dout.Data[(n*c.Filters+f)*plane:][:plane]
@@ -137,9 +186,10 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dW (filters, inCh*K*K) += dycᵀ·cols ; db += column sums of dyc
-	dw := tensor.New(c.Filters, c.InCh*c.K*c.K)
+	dw := c.ws.Get(c.Filters, c.InCh*c.K*c.K) // scratch; fully written
 	tensor.MatMulTransA(dw, dyc, c.cols)
 	c.w.G.Add(dw)
+	c.ws.Put(dw)
 	for r := 0; r < batch*plane; r++ {
 		row := dyc.Data[r*c.Filters:][:c.Filters]
 		for f, v := range row {
@@ -147,14 +197,20 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dcols = dyc · W ; then scatter back to input shape.
-	dcols := tensor.New(batch*plane, c.InCh*c.K*c.K)
+	dcols := c.ws.Get(batch*plane, c.InCh*c.K*c.K) // scratch; fully written
 	tensor.MatMul(dcols, dyc, c.w.W)
-	return tensor.Col2Im(dcols, batch, c.InCh, c.inH, c.inW, c.K, c.K, c.Stride, c.Pad)
+	c.ws.Put(dyc)
+	c.ws.Put(c.prevDx)
+	dx := tensor.Col2ImWS(c.ws, dcols, batch, c.InCh, c.inH, c.inW, c.K, c.K, c.Stride, c.Pad)
+	c.prevDx = dx
+	c.ws.Put(dcols)
+	return dx
 }
 
 // DepthwiseConv2D convolves each input channel with its own KxK kernel
 // (channel multiplier 1) — the core of MobileNet's separable convolutions.
 type DepthwiseConv2D struct {
+	arena
 	name           string
 	Ch             int
 	K, Stride, Pad int
@@ -188,7 +244,7 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	d.x = x
 	d.outH = (h+2*d.Pad-d.K)/d.Stride + 1
 	d.outW = (w+2*d.Pad-d.K)/d.Stride + 1
-	y := tensor.New(batch, d.Ch, d.outH, d.outW)
+	y := d.nextY(batch, d.Ch, d.outH, d.outW)
 	for n := 0; n < batch; n++ {
 		for ch := 0; ch < d.Ch; ch++ {
 			in := x.Data[(n*d.Ch+ch)*h*w:][:h*w]
@@ -222,7 +278,7 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Layer.
 func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	batch, h, w := d.x.Shape[0], d.x.Shape[2], d.x.Shape[3]
-	dx := tensor.New(batch, d.Ch, h, w)
+	dx := d.nextDx(true, batch, d.Ch, h, w) // zeroed: the scatter accumulates
 	for n := 0; n < batch; n++ {
 		for ch := 0; ch < d.Ch; ch++ {
 			in := d.x.Data[(n*d.Ch+ch)*h*w:][:h*w]
@@ -264,6 +320,7 @@ func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
+	arena
 	name string
 	mask []bool
 }
@@ -279,7 +336,7 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := tensor.New(x.Shape...)
+	y := r.nextY(x.Shape...)
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -289,6 +346,7 @@ func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 			y.Data[i] = v
 			r.mask[i] = true
 		} else {
+			y.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -297,10 +355,12 @@ func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dout.Shape...)
+	dx := r.nextDx(false, dout.Shape...)
 	for i, v := range dout.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -309,6 +369,7 @@ func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // MaxPool2 is 2x2 max pooling with stride 2 over NCHW input. Odd trailing
 // rows/columns are dropped (floor semantics).
 type MaxPool2 struct {
+	arena
 	name   string
 	argmax []int
 	insh   []int
@@ -331,7 +392,7 @@ func (m *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := h/2, w/2
 	m.insh = append(m.insh[:0], x.Shape...)
-	y := tensor.New(b, c, oh, ow)
+	y := m.nextY(b, c, oh, ow)
 	if cap(m.argmax) < y.Len() {
 		m.argmax = make([]int, y.Len())
 	}
@@ -360,7 +421,7 @@ func (m *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.insh...)
+	dx := m.nextDx(true, m.insh...) // zeroed: the scatter accumulates
 	for i, v := range dout.Data {
 		dx.Data[m.argmax[i]] += v
 	}
@@ -370,6 +431,7 @@ func (m *MaxPool2) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // GlobalAvgPool averages each channel plane to a single value, producing
 // (batch, ch) output from (batch, ch, h, w) input.
 type GlobalAvgPool struct {
+	arena
 	name string
 	insh []int
 }
@@ -390,7 +452,7 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	g.insh = append(g.insh[:0], x.Shape...)
-	y := tensor.New(b, c)
+	y := g.nextY(b, c)
 	inv := 1 / float32(h*w)
 	for n := 0; n < b; n++ {
 		for ch := 0; ch < c; ch++ {
@@ -408,7 +470,7 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Layer.
 func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	b, c, h, w := g.insh[0], g.insh[1], g.insh[2], g.insh[3]
-	dx := tensor.New(g.insh...)
+	dx := g.nextDx(false, g.insh...) // every element overwritten below
 	inv := 1 / float32(h*w)
 	for n := 0; n < b; n++ {
 		for ch := 0; ch < c; ch++ {
@@ -426,6 +488,10 @@ func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 type Flatten struct {
 	name string
 	insh []int
+	// out and dx are reused view headers over the caller's data (the arena
+	// aliasing contract already bounds their lifetime to the next pass).
+	// wsBits stays zero, so Put ignores them like any Reshape view.
+	out, dx tensor.Tensor
 }
 
 // NewFlatten builds a Flatten layer.
@@ -444,10 +510,14 @@ func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
 	for _, d := range x.Shape[1:] {
 		rest *= d
 	}
-	return x.Reshape(x.Shape[0], rest)
+	f.out.Data = x.Data
+	f.out.Shape = append(f.out.Shape[:0], x.Shape[0], rest)
+	return &f.out
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return dout.Reshape(f.insh...)
+	f.dx.Data = dout.Data
+	f.dx.Shape = append(f.dx.Shape[:0], f.insh...)
+	return &f.dx
 }

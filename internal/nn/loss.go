@@ -12,11 +12,18 @@ import (
 // (so downstream weight gradients are per-sample means, matching Eq. 6 of
 // the paper).
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, acc float64, dlogits *tensor.Tensor) {
+	return softmaxCrossEntropyWS(nil, logits, labels)
+}
+
+// softmaxCrossEntropyWS is SoftmaxCrossEntropy with dlogits drawn from ws
+// (every element is written, so a dirty arena buffer is fine). TrainStep
+// uses it so the loss gradient joins the model's recycled working set.
+func softmaxCrossEntropyWS(ws *tensor.Workspace, logits *tensor.Tensor, labels []int) (loss float64, acc float64, dlogits *tensor.Tensor) {
 	batch, classes := logits.Shape[0], logits.Shape[1]
 	if batch != len(labels) {
 		panic("nn: label count does not match batch size")
 	}
-	dlogits = tensor.New(batch, classes)
+	dlogits = ws.Get(batch, classes)
 	correct := 0
 	var total float64
 	for i := 0; i < batch; i++ {

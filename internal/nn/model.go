@@ -10,20 +10,35 @@ import (
 // Model is an ordered stack of layers trained with softmax cross-entropy.
 // A model owns its weights; DLion gives each worker its own replica built
 // from the same Spec and seed so all replicas start identical.
+//
+// A model also owns a tensor.Workspace its layers draw activations and
+// scratch from, so the steady-state training loop recycles a constant set
+// of buffers instead of allocating megabytes per step. The aliasing
+// consequence (DESIGN.md §9): tensors returned by Forward and TrainStep's
+// internal activations are valid only until the next Forward/TrainStep on
+// the same model — callers that retain results across steps must Clone.
+// Models remain single-goroutine; concurrent use of one model was already
+// a race before the workspace existed.
 type Model struct {
 	ModelName string
 	Layers    []Layer
 
-	params  []*Param
-	byName  map[string]*Param
-	lastOut *tensor.Tensor
+	params   []*Param
+	byName   map[string]*Param
+	ws       *tensor.Workspace
+	prevDout *tensor.Tensor // last loss gradient, recycled next TrainStep
+	lastOut  *tensor.Tensor
 }
 
 // NewModel assembles a model from layers and indexes its parameters.
 // Duplicate parameter names are a programming error and panic.
 func NewModel(name string, layers ...Layer) *Model {
-	m := &Model{ModelName: name, Layers: layers, byName: map[string]*Param{}}
+	m := &Model{ModelName: name, Layers: layers, byName: map[string]*Param{},
+		ws: tensor.NewWorkspace()}
 	for _, l := range layers {
+		if wu, ok := l.(workspaceUser); ok {
+			wu.setWorkspace(m.ws)
+		}
 		for _, p := range l.Params() {
 			if _, dup := m.byName[p.Name]; dup {
 				panic(fmt.Sprintf("nn: duplicate parameter %q", p.Name))
@@ -80,7 +95,9 @@ func (m *Model) ZeroGrads() {
 func (m *Model) TrainStep(x *tensor.Tensor, labels []int) (loss, acc float64) {
 	m.ZeroGrads()
 	logits := m.Forward(x)
-	loss, acc, dout := SoftmaxCrossEntropy(logits, labels)
+	m.ws.Put(m.prevDout) // last step's loss gradient is dead by now
+	loss, acc, dout := softmaxCrossEntropyWS(m.ws, logits, labels)
+	m.prevDout = dout
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		dout = m.Layers[i].Backward(dout)
 	}

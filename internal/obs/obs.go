@@ -174,6 +174,36 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// AttachCounter registers an externally owned counter under name, so
+// package-level counters (e.g. the tensor workspace telemetry) appear in
+// snapshots and expvar next to registry-born ones. Re-attaching a name
+// replaces the previous handle. No-op on a nil registry or nil counter.
+func (r *Registry) AttachCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	r.counters[name] = c
+}
+
+// AttachGauge registers an externally owned gauge under name. Re-attaching
+// a name replaces the previous handle. No-op on a nil registry or nil gauge.
+func (r *Registry) AttachGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	r.gauges[name] = g
+}
+
 // Snapshot returns every metric as name → value. Gauges contribute their
 // current value under their name and the high-water mark under
 // name + ".max". A nil registry snapshots to an empty map.

@@ -58,3 +58,26 @@ func BenchmarkMaxAbs(b *testing.B) {
 		_ = x.MaxAbs()
 	}
 }
+
+func BenchmarkMatMulTransA128(b *testing.B) {
+	r := newTestRand(6)
+	c := New(128, 128)
+	aT := randTensor(r, 128, 128)
+	y := randTensor(r, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(c, aT, y)
+	}
+}
+
+func BenchmarkCol2Im(b *testing.B) {
+	r := newTestRand(7)
+	in := randTensor(r, 32, 10, 16, 16)
+	cols := Im2Col(in, 3, 3, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Col2Im(cols, 32, 10, 16, 16, 3, 3, 1, 1)
+	}
+}

@@ -14,7 +14,7 @@ var maxWorkers atomic.Int64
 // inline on the calling goroutine. The kernels in this package already
 // produce bit-identical results at any worker count — each body(i) owns
 // output index i and reduces sequentially — but that is a property of the
-// current kernels, not of the parallelFor contract. Conformance runs
+// current kernels, not of the parallelRun contract. Conformance runs
 // (gradcheck, sim↔realtime equivalence, golden gates in internal/testkit)
 // flip this switch so a future kernel with a cross-goroutine reduction
 // cannot silently make them order-dependent.
@@ -25,11 +25,16 @@ func init() {
 }
 
 // SetMaxWorkers bounds the number of goroutines the heavy kernels use and
-// returns the previous bound. n < 1 is treated as 1. Safe to call while
-// kernels run on other goroutines.
+// returns the previous bound. n < 1 is treated as 1. Raising the bound
+// pre-spawns persistent pool helpers so the first kernel call after a resize
+// does not pay goroutine startup. Safe to call while kernels run on other
+// goroutines.
 func SetMaxWorkers(n int) int {
 	if n < 1 {
 		n = 1
+	}
+	if n > 1 {
+		ensureHelpers(int64(n - 1))
 	}
 	return int(maxWorkers.Swap(int64(n)))
 }
@@ -46,69 +51,329 @@ func SetDeterministic(on bool) bool {
 // Deterministic reports whether deterministic-reduction mode is enabled.
 func Deterministic() bool { return deterministic.Load() }
 
-// parallelFor runs body(i) for i in [0,n) across up to maxWorkers goroutines.
-// Small ranges run inline to avoid goroutine overhead.
-func parallelFor(n int, body func(i int)) {
-	workers := int(maxWorkers.Load())
-	if deterministic.Load() {
-		workers = 1
+// All three matmul variants funnel into one cache-blocked, register-tiled
+// engine: B is packed into 8-column panels (transposing on the fly for
+// MatMulTransB, which is cheap — 8 sequential row streams), A is transposed
+// once into pooled scratch for MatMulTransA (replacing k×m strided reads per
+// output row with one cache-blocked pass), and every output row is produced
+// by a 1×8 micro-kernel carrying 8 scalar accumulators in registers across
+// the shared dimension. 8 accumulators is the sweet spot for gc on amd64:
+// wider tiles (4×4 = 16 live float32s) spill to the stack and run slower
+// than a plain axpy loop.
+//
+// The micro-kernel skips p where a's element is exactly zero, like the
+// original axpy kernels. Post-ReLU activations and gradients are heavily
+// sparse, so on the training path this skips a large fraction of the madds.
+//
+// Bit-exactness contract: every output element is produced by exactly one
+// accumulator whose additions run in ascending p order, one `acc += a*b` per
+// p, zero products skipped. For finite operands this is bit-identical to the
+// previous kernels — skipped terms are ±0 products, and a float32 sum chain
+// that only ever adds terms can never sit at -0, so adding a ±0 product
+// never changes the accumulator — at any worker count, with or without
+// SetDeterministic (pinned by TestBlockedMatMulMatchesReferenceBitExact and
+// the testkit goldens).
+
+// mmNR is the portable register tile width: one A row against 8 packed B
+// columns (8 accumulators in XMM registers).
+const mmNR = 8
+
+// mmNRWide is the AVX2 tile width: one A row against 32 packed B columns,
+// four YMM accumulator chains deep enough to hide VADDPS latency.
+const mmNRWide = 32
+
+// mmSmall is the flop threshold below which the packed path is not worth
+// the panel-packing pass (gradcheck drives thousands of tiny matmuls).
+const mmSmall = 4096
+
+// packBuf is a pooled panel-packing / transpose scratch buffer.
+type packBuf struct{ data []float32 }
+
+var packPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+// getPack returns a pooled buffer of at least n floats (contents dirty).
+func getPack(n int) *packBuf {
+	b := packPool.Get().(*packBuf)
+	if cap(b.data) < n {
+		b.data = make([]float32, n)
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 4 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	b.data = b.data[:n]
+	return b
 }
 
-// MatMul computes c = a·b for a (m×k), b (k×n), c (m×n), parallelizing over
-// rows of a. c must not alias a or b.
+func putPack(b *packBuf) { packPool.Put(b) }
+
+// packPanels copies b (k×n, row-major) into 8-column panels: panel pj holds
+// columns [8pj, 8pj+8) contiguously per p, zero-padding the final partial
+// panel. Padded lanes feed accumulators that are never stored.
+func packPanels(dst, b []float32, k, n int) {
+	nPanels := (n + mmNR - 1) / mmNR
+	for pj := 0; pj < nPanels; pj++ {
+		j0 := pj * mmNR
+		w := n - j0
+		if w > mmNR {
+			w = mmNR
+		}
+		out := dst[pj*k*mmNR:]
+		if w == mmNR {
+			for p := 0; p < k; p++ {
+				src := b[p*n+j0:][:8]
+				o := out[p*8:][:8]
+				o[0], o[1], o[2], o[3] = src[0], src[1], src[2], src[3]
+				o[4], o[5], o[6], o[7] = src[4], src[5], src[6], src[7]
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			o := out[p*8 : p*8+8]
+			o[0], o[1], o[2], o[3] = 0, 0, 0, 0
+			o[4], o[5], o[6], o[7] = 0, 0, 0, 0
+			copy(o, b[p*n+j0:][:w])
+		}
+	}
+}
+
+// packPanelsT packs panels of bᵀ directly from row-major b (n×k): panel pj
+// lane l at depth p holds b[(8pj+l)*k+p]. Each full panel streams 8 rows of
+// b sequentially, so the transpose costs one pass over b.
+func packPanelsT(dst, b []float32, k, n int) {
+	nPanels := (n + mmNR - 1) / mmNR
+	for pj := 0; pj < nPanels; pj++ {
+		j0 := pj * mmNR
+		w := n - j0
+		if w > mmNR {
+			w = mmNR
+		}
+		out := dst[pj*k*mmNR:]
+		if w == mmNR {
+			b0 := b[(j0+0)*k:][:k]
+			b1 := b[(j0+1)*k:][:k]
+			b2 := b[(j0+2)*k:][:k]
+			b3 := b[(j0+3)*k:][:k]
+			b4 := b[(j0+4)*k:][:k]
+			b5 := b[(j0+5)*k:][:k]
+			b6 := b[(j0+6)*k:][:k]
+			b7 := b[(j0+7)*k:][:k]
+			for p := 0; p < k; p++ {
+				o := out[p*8:][:8]
+				o[0], o[1], o[2], o[3] = b0[p], b1[p], b2[p], b3[p]
+				o[4], o[5], o[6], o[7] = b4[p], b5[p], b6[p], b7[p]
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			o := out[p*8 : p*8+8]
+			o[0], o[1], o[2], o[3] = 0, 0, 0, 0
+			o[4], o[5], o[6], o[7] = 0, 0, 0, 0
+			for l := 0; l < w; l++ {
+				o[l] = b[(j0+l)*k+p]
+			}
+		}
+	}
+}
+
+// packPanels32 is packPanels with 32-column panels for the AVX2 kernel.
+func packPanels32(dst, b []float32, k, n int) {
+	nPanels := (n + mmNRWide - 1) / mmNRWide
+	for pj := 0; pj < nPanels; pj++ {
+		j0 := pj * mmNRWide
+		w := n - j0
+		if w > mmNRWide {
+			w = mmNRWide
+		}
+		out := dst[pj*k*mmNRWide:]
+		if w == mmNRWide {
+			for p := 0; p < k; p++ {
+				copy(out[p*mmNRWide:][:mmNRWide], b[p*n+j0:][:mmNRWide])
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			o := out[p*mmNRWide : p*mmNRWide+mmNRWide]
+			for x := range o {
+				o[x] = 0
+			}
+			copy(o, b[p*n+j0:][:w])
+		}
+	}
+}
+
+// packPanelsT32 is packPanelsT with 32-column panels: per p it gathers one
+// element from each of 32 b-row streams, so at most 32 source cache lines
+// are live and each is reused for 16 consecutive p.
+func packPanelsT32(dst, b []float32, k, n int) {
+	nPanels := (n + mmNRWide - 1) / mmNRWide
+	for pj := 0; pj < nPanels; pj++ {
+		j0 := pj * mmNRWide
+		w := n - j0
+		if w > mmNRWide {
+			w = mmNRWide
+		}
+		out := dst[pj*k*mmNRWide:]
+		for p := 0; p < k; p++ {
+			o := out[p*mmNRWide : p*mmNRWide+mmNRWide]
+			if w < mmNRWide {
+				for x := range o {
+					o[x] = 0
+				}
+			}
+			idx := j0*k + p
+			for l := 0; l < w; l++ {
+				o[l] = b[idx]
+				idx += k
+			}
+		}
+	}
+}
+
+// transposeInto writes a (k×m, row-major) into dst as (m×k). The inner loop
+// walks one source row while cycling through m destination cache lines, each
+// hit 16 times over consecutive p before eviction matters.
+func transposeInto(dst, a []float32, k, m int) {
+	for p := 0; p < k; p++ {
+		row := a[p*m:][:m]
+		for i, v := range row {
+			dst[i*k+p] = v
+		}
+	}
+}
+
+// store8 writes up to 8 accumulated values into one output row.
+func store8(row []float32, w int, s0, s1, s2, s3, s4, s5, s6, s7 float32) {
+	if w == mmNR {
+		r := row[:8]
+		r[0], r[1], r[2], r[3] = s0, s1, s2, s3
+		r[4], r[5], r[6], r[7] = s4, s5, s6, s7
+		return
+	}
+	s := [8]float32{s0, s1, s2, s3, s4, s5, s6, s7}
+	copy(row[:w], s[:w])
+}
+
+// matMulJob computes rows of c = a·b against packed panels of b, with a in
+// row-major (m×k) form (pre-transposed by the dispatcher when needed).
+type matMulJob struct {
+	c, a, bp []float32
+	m, n, k  int
+	nPanels  int
+	wide     bool // 32-wide AVX2 panels instead of 8-wide portable ones
+}
+
+var matMulJobs = sync.Pool{New: func() any { return new(matMulJob) }}
+
+// indexWide computes output row i with the 32-wide AVX2 micro-kernel. Full
+// panels accumulate straight into the output row; the final partial panel
+// lands in stack scratch first.
+func (j *matMulJob) indexWide(i int) {
+	k, n := j.k, j.n
+	a := &j.a[i*k]
+	crow := j.c[i*n : (i+1)*n]
+	nFull := n / mmNRWide
+	for pj := 0; pj < nFull; pj++ {
+		mmPanel32(&crow[pj*mmNRWide], a, &j.bp[pj*k*mmNRWide], k)
+	}
+	if rem := n - nFull*mmNRWide; rem > 0 {
+		var buf [mmNRWide]float32
+		mmPanel32(&buf[0], a, &j.bp[nFull*k*mmNRWide], k)
+		copy(crow[nFull*mmNRWide:], buf[:rem])
+	}
+}
+
+// index computes output row i with the 1×8 zero-skipping micro-kernel.
+func (j *matMulJob) index(i int) {
+	if j.wide {
+		j.indexWide(i)
+		return
+	}
+	k, n := j.k, j.n
+	ar := j.a[i*k:][:k]
+	crow := j.c[i*n : (i+1)*n]
+	for pj := 0; pj < j.nPanels; pj++ {
+		pb := j.bp[pj*k*8:]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float32
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue
+			}
+			bq := pb[p*8:][:8]
+			s0 += av * bq[0]
+			s1 += av * bq[1]
+			s2 += av * bq[2]
+			s3 += av * bq[3]
+			s4 += av * bq[4]
+			s5 += av * bq[5]
+			s6 += av * bq[6]
+			s7 += av * bq[7]
+		}
+		j0 := pj * mmNR
+		w := n - j0
+		if w > mmNR {
+			w = mmNR
+		}
+		store8(crow[j0:], w, s0, s1, s2, s3, s4, s5, s6, s7)
+	}
+}
+
+// Matmul operand layouts handled by runPacked.
+const (
+	mmPlain  = iota // a (m×k), b (k×n)
+	mmTransA        // a (k×m), b (k×n)
+	mmTransB        // a (m×k), b (n×k)
+)
+
+// runPacked dispatches the packed matmul: bring a into row-major form, pack
+// panels of b (transposing when b is stored n×k), shard rows across the
+// pool, recycle the scratch.
+func runPacked(c, a, b []float32, m, n, k, mode int) {
+	nr := mmNR
+	wide := useWideKernel && n > mmNR
+	if wide {
+		nr = mmNRWide
+	}
+	nPanels := (n + nr - 1) / nr
+	pk := getPack(nPanels * k * nr)
+	switch {
+	case mode == mmTransB && wide:
+		packPanelsT32(pk.data, b, k, n)
+	case mode == mmTransB:
+		packPanelsT(pk.data, b, k, n)
+	case wide:
+		packPanels32(pk.data, b, k, n)
+	default:
+		packPanels(pk.data, b, k, n)
+	}
+	var at *packBuf
+	if mode == mmTransA {
+		at = getPack(m * k)
+		transposeInto(at.data, a, k, m)
+		a = at.data
+	}
+	j := matMulJobs.Get().(*matMulJob)
+	j.c, j.a, j.bp = c, a, pk.data
+	j.m, j.n, j.k, j.nPanels, j.wide = m, n, k, nPanels, wide
+	parallelRun(m, j)
+	j.c, j.a, j.bp = nil, nil, nil
+	matMulJobs.Put(j)
+	if at != nil {
+		putPack(at)
+	}
+	putPack(pk)
+}
+
+// MatMul computes c = a·b for a (m×k), b (k×n), c (m×n). c must not alias
+// a or b.
 func MatMul(c, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
 		panic("tensor: MatMul shape mismatch")
 	}
-	parallelFor(m, func(i int) {
-		crow := c.Data[i*n : (i+1)*n]
-		for x := range crow {
-			crow[x] = 0
-		}
-		arow := a.Data[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	})
+	if m*n*k <= mmSmall {
+		matMulSmall(c.Data, a.Data, b.Data, m, n, k, false)
+		return
+	}
+	runPacked(c.Data, a.Data, b.Data, m, n, k, mmPlain)
 }
 
 // MatMulTransA computes c = aᵀ·b for a (k×m), b (k×n), c (m×n).
@@ -118,22 +383,11 @@ func MatMulTransA(c, a, b *Tensor) {
 	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
 		panic("tensor: MatMulTransA shape mismatch")
 	}
-	parallelFor(m, func(i int) {
-		crow := c.Data[i*n : (i+1)*n]
-		for x := range crow {
-			crow[x] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := a.Data[p*m+i]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	})
+	if m*n*k <= mmSmall {
+		matMulSmall(c.Data, a.Data, b.Data, m, n, k, true)
+		return
+	}
+	runPacked(c.Data, a.Data, b.Data, m, n, k, mmTransA)
 }
 
 // MatMulTransB computes c = a·bᵀ for a (m×k), b (n×k), c (m×n).
@@ -143,82 +397,166 @@ func MatMulTransB(c, a, b *Tensor) {
 	if k != k2 || c.Shape[0] != m || c.Shape[1] != n {
 		panic("tensor: MatMulTransB shape mismatch")
 	}
-	parallelFor(m, func(i int) {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
+	if m*n*k <= mmSmall {
+		matMulSmallTB(c.Data, a.Data, b.Data, m, n, k)
+		return
+	}
+	runPacked(c.Data, a.Data, b.Data, m, n, k, mmTransB)
+}
+
+// matMulSmall is the unblocked fallback for tiny problems, in the same
+// ascending-p zero-skipping axpy order as the tiled kernel (and the original
+// kernels).
+func matMulSmall(c, a, b []float32, m, n, k int, transposeA bool) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : (i+1)*n]
+		for x := range crow {
+			crow[x] = 0
+		}
+		for p := 0; p < k; p++ {
+			var av float32
+			if transposeA {
+				av = a[p*m+i]
+			} else {
+				av = a[i*k+p]
+			}
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for x, bv := range brow {
+				crow[x] += av * bv
+			}
+		}
+	}
+}
+
+// matMulSmallTB is the unblocked c = a·bᵀ fallback: plain row-dot-row
+// products, ascending p.
+func matMulSmallTB(c, a, b []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for jc := 0; jc < n; jc++ {
+			brow := b[jc*k : (jc+1)*k]
 			var s float32
 			for p, av := range arow {
 				s += av * brow[p]
 			}
-			crow[j] = s
+			crow[jc] = s
 		}
-	})
+	}
+}
+
+// im2colJob unrolls one batch image into patch columns.
+type im2colJob struct {
+	dst, src                                         []float32
+	c, h, w, kh, kw, stride, pad, outH, outW, rowLen int
+}
+
+var im2colJobs = sync.Pool{New: func() any { return new(im2colJob) }}
+
+func (j *im2colJob) index(n int) {
+	c, h, w := j.c, j.h, j.w
+	for oy := 0; oy < j.outH; oy++ {
+		for ox := 0; ox < j.outW; ox++ {
+			row := j.dst[((n*j.outH+oy)*j.outW+ox)*j.rowLen:][:j.rowLen]
+			ri := 0
+			for ch := 0; ch < c; ch++ {
+				base := ((n * c) + ch) * h * w
+				for ky := 0; ky < j.kh; ky++ {
+					iy := oy*j.stride + ky - j.pad
+					for kx := 0; kx < j.kw; kx++ {
+						ix := ox*j.stride + kx - j.pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							row[ri] = j.src[base+iy*w+ix]
+						} else {
+							row[ri] = 0
+						}
+						ri++
+					}
+				}
+			}
+		}
+	}
 }
 
 // Im2Col unrolls input (batch, ch, h, w) into columns of kh×kw patches with
 // the given stride and zero padding, producing a
 // (batch*outH*outW, ch*kh*kw) matrix suitable for convolution-as-matmul.
+// The result is freshly allocated; hot paths use Im2ColWS.
 func Im2Col(in *Tensor, kh, kw, stride, pad int) *Tensor {
+	return Im2ColWS(nil, in, kh, kw, stride, pad)
+}
+
+// Im2ColWS is Im2Col with the column matrix drawn from ws (allocation-free
+// at steady state). Every element is written, so a dirty arena buffer is
+// fine. A nil ws falls back to a fresh allocation.
+func Im2ColWS(ws *Workspace, in *Tensor, kh, kw, stride, pad int) *Tensor {
 	b, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
-	cols := New(b*outH*outW, c*kh*kw)
-	rowLen := c * kh * kw
-	parallelFor(b, func(n int) {
-		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := cols.Data[((n*outH+oy)*outW+ox)*rowLen:][:rowLen]
-				ri := 0
-				for ch := 0; ch < c; ch++ {
-					base := ((n * c) + ch) * h * w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride + ky - pad
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride + kx - pad
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								row[ri] = in.Data[base+iy*w+ix]
-							} else {
-								row[ri] = 0
-							}
-							ri++
-						}
-					}
-				}
-			}
-		}
-	})
+	cols := ws.Get(b*outH*outW, c*kh*kw)
+	j := im2colJobs.Get().(*im2colJob)
+	j.dst, j.src = cols.Data, in.Data
+	j.c, j.h, j.w, j.kh, j.kw = c, h, w, kh, kw
+	j.stride, j.pad, j.outH, j.outW, j.rowLen = stride, pad, outH, outW, c*kh*kw
+	parallelRun(b, j)
+	j.dst, j.src = nil, nil
+	im2colJobs.Put(j)
 	return cols
 }
 
-// Col2Im is the adjoint of Im2Col: it scatters column gradients back into an
-// input-shaped tensor (batch, ch, h, w), accumulating overlaps.
-func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
-	outH := (h+2*pad-kh)/stride + 1
-	outW := (w+2*pad-kw)/stride + 1
-	out := New(b, c, h, w)
-	rowLen := c * kh * kw
-	parallelFor(b, func(n int) {
-		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := cols.Data[((n*outH+oy)*outW+ox)*rowLen:][:rowLen]
-				ri := 0
-				for ch := 0; ch < c; ch++ {
-					base := ((n * c) + ch) * h * w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride + ky - pad
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride + kx - pad
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								out.Data[base+iy*w+ix] += row[ri]
-							}
-							ri++
+// col2imJob scatters one batch image's column gradients back to input shape.
+type col2imJob struct {
+	dst, src                                         []float32
+	c, h, w, kh, kw, stride, pad, outH, outW, rowLen int
+}
+
+var col2imJobs = sync.Pool{New: func() any { return new(col2imJob) }}
+
+func (j *col2imJob) index(n int) {
+	c, h, w := j.c, j.h, j.w
+	for oy := 0; oy < j.outH; oy++ {
+		for ox := 0; ox < j.outW; ox++ {
+			row := j.src[((n*j.outH+oy)*j.outW+ox)*j.rowLen:][:j.rowLen]
+			ri := 0
+			for ch := 0; ch < c; ch++ {
+				base := ((n * c) + ch) * h * w
+				for ky := 0; ky < j.kh; ky++ {
+					iy := oy*j.stride + ky - j.pad
+					for kx := 0; kx < j.kw; kx++ {
+						ix := ox*j.stride + kx - j.pad
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							j.dst[base+iy*w+ix] += row[ri]
 						}
+						ri++
 					}
 				}
 			}
 		}
-	})
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters column gradients back into an
+// input-shaped tensor (batch, ch, h, w), accumulating overlaps. The result
+// is freshly allocated; hot paths use Col2ImWS.
+func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	return Col2ImWS(nil, cols, b, c, h, w, kh, kw, stride, pad)
+}
+
+// Col2ImWS is Col2Im with the output drawn from ws (zeroed before the
+// scatter, which accumulates). A nil ws falls back to a fresh allocation.
+func Col2ImWS(ws *Workspace, cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	out := ws.GetZeroed(b, c, h, w)
+	j := col2imJobs.Get().(*col2imJob)
+	j.dst, j.src = out.Data, cols.Data
+	j.c, j.h, j.w, j.kh, j.kw = c, h, w, kh, kw
+	j.stride, j.pad, j.outH, j.outW, j.rowLen = stride, pad, outH, outW, c*kh*kw
+	parallelRun(b, j)
+	j.dst, j.src = nil, nil
+	col2imJobs.Put(j)
 	return out
 }

@@ -1,0 +1,191 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func f32bits(v float32) uint32 { return math.Float32bits(v) }
+
+// Seed-style reference kernels, kept deliberately naive. refMatMul is the
+// original row-axpy loop with the zero-skip (c[i,:] += a[i,p]*b[p,:] for
+// ascending p, skipping a[i,p]==0); refMatMulTransB is the original dense
+// row-dot. The blocked/packed engine promises bit identity with these: every
+// output element is one accumulator fed in ascending p order, one add per
+// nonzero product. See the contract note atop kernels.go.
+func refMatMul(c, a, b *Tensor, transA bool) {
+	var m, k int
+	if transA {
+		k, m = a.Shape[0], a.Shape[1]
+	} else {
+		m, k = a.Shape[0], a.Shape[1]
+	}
+	n := b.Shape[1]
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			var av float32
+			if transA {
+				av = a.Data[p*m+i]
+			} else {
+				av = a.Data[i*k+p]
+			}
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func refMatMulTransB(c, a, bT *Tensor) {
+	m, k, n := a.Shape[0], a.Shape[1], bT.Shape[0]
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := bT.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+}
+
+// sparsify zeroes roughly half the entries (the post-ReLU regime the
+// zero-skip exists for), including exact-zero products the packed kernels
+// must skip identically.
+func sparsify(r *testRand, t *Tensor) {
+	for i := range t.Data {
+		if r.intn(2) == 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// TestBlockedMatMulMatchesReferenceBitExact pins the engine's bit-exactness
+// contract: the packed 8-wide and 32-wide (AVX2) kernels, the transpose-pack
+// paths, partial trailing panels, and the small-product fallback must all
+// reproduce the seed kernels' outputs bit for bit, on dense and ~50%-sparse
+// operands alike.
+func TestBlockedMatMulMatchesReferenceBitExact(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	shapes := []struct{ m, k, n int }{
+		{16, 16, 16},  // m*n*k == mmSmall: unblocked fallback
+		{7, 19, 77},   // wide path, partial 32-panel (77 = 2*32 + 13)
+		{33, 40, 64},  // wide path, exact panels
+		{1, 128, 128}, // single row, pure panel sweep
+		{64, 3, 33},   // tiny k, one trailing column past a panel
+		{12, 50, 5},   // n <= mmNR: packed 8-wide narrow path
+		{96, 31, 8},   // n == mmNR boundary
+	}
+	for _, dense := range []bool{true, false} {
+		for _, s := range shapes {
+			r := newTestRand(int64(s.m*1000 + s.k*10 + s.n))
+			a := randTensor(r, s.m, s.k)
+			b := randTensor(r, s.k, s.n)
+			aT := randTensor(r, s.k, s.m)
+			bT := randTensor(r, s.n, s.k)
+			if !dense {
+				sparsify(r, a)
+				sparsify(r, b)
+				sparsify(r, aT)
+				sparsify(r, bT)
+			}
+			got, want := New(s.m, s.n), New(s.m, s.n)
+
+			MatMul(got, a, b)
+			refMatMul(want, a, b, false)
+			diffIndex(t, "MatMul", s.m, s.k, s.n, dense, got, want)
+
+			MatMulTransA(got, aT, b)
+			refMatMul(want, aT, b, true)
+			diffIndex(t, "MatMulTransA", s.m, s.k, s.n, dense, got, want)
+
+			MatMulTransB(got, a, bT)
+			refMatMulTransB(want, a, bT)
+			diffIndex(t, "MatMulTransB", s.m, s.k, s.n, dense, got, want)
+		}
+	}
+}
+
+func diffIndex(t *testing.T, name string, m, k, n int, dense bool, got, want *Tensor) {
+	t.Helper()
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s (%dx%dx%d dense=%v) not bit-exact at %d: got %v want %v (bits %08x vs %08x)",
+				name, m, k, n, dense, i, got.Data[i], want.Data[i],
+				f32bits(got.Data[i]), f32bits(want.Data[i]))
+		}
+	}
+}
+
+// TestWorkspaceReuseSameBacking verifies the arena's recycling and ownership
+// rules: a Put buffer comes back from the same size class with the same
+// backing array; foreign tensors and views never enter the free lists.
+func TestWorkspaceReuseSameBacking(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(64, 8)
+	if len(a.Data) != 512 {
+		t.Fatalf("Get(64,8) len = %d", len(a.Data))
+	}
+	p := &a.Data[0]
+	ws.Put(a)
+	// Same class (512 elements), different shape: same backing array.
+	b := ws.Get(16, 32)
+	if &b.Data[0] != p {
+		t.Fatal("workspace did not recycle the backing array within a class")
+	}
+	if b.Shape[0] != 16 || b.Shape[1] != 32 {
+		t.Fatalf("recycled shape %v", b.Shape)
+	}
+	// Foreign tensors (New) and views (Reshape) are silently ignored by Put.
+	ws.Put(New(64, 8))
+	ws.Put(b.Reshape(512))
+	ws.Put(b)
+	c := ws.Get(512)
+	if &c.Data[0] != p {
+		t.Fatal("foreign tensor or view entered the free list ahead of the arena buffer")
+	}
+	// GetZeroed clears a dirty recycled buffer.
+	c.Fill(3)
+	ws.Put(c)
+	z := ws.GetZeroed(512)
+	for i, v := range z.Data {
+		if v != 0 {
+			t.Fatalf("GetZeroed left dirty value %v at %d", v, i)
+		}
+	}
+	// nil workspace degrades to a plain allocation.
+	var nilWS *Workspace
+	d := nilWS.Get(3, 4)
+	if len(d.Data) != 12 {
+		t.Fatalf("nil workspace Get len = %d", len(d.Data))
+	}
+	nilWS.Put(d) // must not panic
+}
+
+// TestIm2ColWSZeroAlloc pins the Im2Col allocation fix: once the size class
+// is warm, the im2col hot path performs no net heap allocations per call.
+func TestIm2ColWSZeroAlloc(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	ws := NewWorkspace()
+	r := newTestRand(9)
+	in := randTensor(r, 4, 3, 12, 12)
+	ws.Put(Im2ColWS(ws, in, 3, 3, 1, 1)) // warm the size class
+	allocs := testing.AllocsPerRun(50, func() {
+		ws.Put(Im2ColWS(ws, in, 3, 3, 1, 1))
+	})
+	if allocs != 0 {
+		t.Fatalf("Im2ColWS allocates %v times per call on a warm workspace, want 0", allocs)
+	}
+}

@@ -1,0 +1,17 @@
+//go:build amd64
+
+package tensor
+
+// cpuHasAVX2 reports whether the CPU and OS support AVX2 (CPUID + XGETBV).
+func cpuHasAVX2() bool
+
+// mmPanel32 computes dst[0:32] = Σ_p a[p]·pb[p*32+0:32] with four YMM
+// accumulator chains in ascending-p order (VMULPS+VADDPS, never FMA), so the
+// result is bit-identical to the scalar kernels for finite operands. dst, a,
+// and pb must point at ≥32, ≥k, and ≥k*32 valid floats respectively.
+//
+//go:noescape
+func mmPanel32(dst *float32, a *float32, pb *float32, k int)
+
+// useWideKernel gates the 32-wide AVX2 matmul path.
+var useWideKernel = cpuHasAVX2()

@@ -1,0 +1,81 @@
+// AVX2 micro-kernel for the packed matmul engine (see kernels.go).
+//
+// mmPanel32 computes 32 output-row elements at once: dst[l] = sum over p of
+// a[p] * pb[p*32+l], with four YMM accumulator chains. Each chain performs,
+// per p, one single-precision multiply followed by one single-precision add
+// (VMULPS + VADDPS, never FMA), so every lane's float32 rounding sequence is
+// exactly the scalar `s += a[p] * b[p]` chain in ascending p — bit-identical
+// to the pure-Go kernels for finite operands.
+
+#include "textflag.h"
+
+// func mmPanel32(dst *float32, a *float32, pb *float32, k int)
+TEXT ·mmPanel32(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), BX
+	MOVQ a+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ k+24(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VBROADCASTSS (SI), Y4
+	VMULPS (DI), Y4, Y5
+	VADDPS Y5, Y0, Y0
+	VMULPS 32(DI), Y4, Y6
+	VADDPS Y6, Y1, Y1
+	VMULPS 64(DI), Y4, Y7
+	VADDPS Y7, Y2, Y2
+	VMULPS 96(DI), Y4, Y8
+	VADDPS Y8, Y3, Y3
+	ADDQ   $4, SI
+	ADDQ   $128, DI
+	DECQ   CX
+	JNZ    loop
+
+store:
+	VMOVUPS Y0, (BX)
+	VMOVUPS Y1, 32(BX)
+	VMOVUPS Y2, 64(BX)
+	VMOVUPS Y3, 96(BX)
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	// CPUID leaf 1: ECX bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	BTL  $27, R8
+	JCC  no
+	BTL  $28, R8
+	JCC  no
+
+	// XCR0 bits 1..2: XMM and YMM state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	// CPUID leaf 7 subleaf 0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	BTL  $5, BX
+	JCC  no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

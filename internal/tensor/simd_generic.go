@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// useWideKernel gates the 32-wide AVX2 matmul path; other architectures use
+// the portable 8-wide kernel.
+const useWideKernel = false
+
+// mmPanel32 is never called when useWideKernel is false.
+func mmPanel32(dst *float32, a *float32, pb *float32, k int) {
+	panic("tensor: mmPanel32 without SIMD support")
+}

@@ -18,6 +18,11 @@ import (
 type Tensor struct {
 	Shape []int
 	Data  []float32
+
+	// wsBits records the Workspace size class when the tensor was born from
+	// an arena Get; zero for ordinary tensors. Views (Reshape) and copies
+	// deliberately drop it so only the original owner can recycle a buffer.
+	wsBits int8
 }
 
 // New returns a zero-filled tensor with the given shape.
