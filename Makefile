@@ -3,7 +3,7 @@
 # reconnecting client, real-mode runtime, serving) plus the nn
 # checkpoint-vs-Forward concurrency tests; running it repo-wide would
 # multiply simulation test time ~20x for no extra coverage.
-.PHONY: check build vet test race fuzz-smoke conformance bench bench-serve
+.PHONY: check build vet test race fuzz-smoke conformance bench bench-serve bench-sim chaos
 
 check: build vet test race fuzz-smoke
 
@@ -48,3 +48,18 @@ bench:
 # shedding, emitted as BENCH_serve.json (see EXPERIMENTS.md).
 bench-serve:
 	go run ./cmd/dlion-bench -serve -json BENCH_serve.json
+
+# DES throughput: events per wall second at 6/32/128 workers, with and
+# without elastic churn, emitted as BENCH_sim.json. The committed report is
+# the baseline, like BENCH_kernels.json.
+bench-sim:
+	go test -run='^$$' -bench=SimEvents -benchtime=1x ./internal/cluster \
+		| go run ./cmd/dlion-benchfmt -name sim -out BENCH_sim.json \
+			-baseline BENCH_sim.json -regress '$(or $(BENCH_REGRESS),0)'
+
+# Churn soak for the scheduled CI job: the sim churn scenarios and the
+# membership protocol tests, repeated under the race detector. -count=3
+# re-runs catch schedule-dependent flakes a single pass would miss.
+chaos:
+	go test -race -count=3 -run 'Membership|Churn|Join|Leave|Quorum|Recheck|Elastic' \
+		./internal/core/... ./internal/cluster/... ./internal/realtime/... ./internal/testkit/...

@@ -38,6 +38,10 @@ func main() {
 		duration = flag.Duration("duration", 30*time.Second, "training duration")
 		dbgAddr  = flag.String("debug-addr", "", "serve pprof + expvar on this address (see METRICS.md)")
 		servePub = flag.Duration("serve-publish", 0, "broadcast model checkpoints for dlion-serve at this interval (0 disables)")
+		join     = flag.Bool("join", false, "join a running federation instead of founding it (see DESIGN.md §10)")
+		sponsor  = flag.Int("sponsor", 0, "member to request admission from when -join is set")
+		founders = flag.Int("founders", 0, "founding roster is ids [0,founders); 0 means all -workers slots found the cluster")
+		quorum   = flag.Int("quorum", 0, "mark iterations degraded when the live cluster shrinks below this size (0 disables)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,24 @@ func main() {
 	}
 	if sys.DKT.Enabled {
 		sys.DKT.Period = 20
+	}
+	sys.Membership.QuorumFloor = *quorum
+	switch {
+	case *join:
+		// this process starts outside the federation and asks -sponsor in
+		sys.Membership.Join = true
+		sys.Membership.Sponsor = *sponsor
+	case *founders > 0:
+		// a founder of an elastic cluster: the initial roster is smaller
+		// than the -workers address space, leaving slots for joiners
+		if *id >= *founders {
+			fatal(fmt.Errorf("id %d is not a founder (founders are [0,%d)); pass -join", *id, *founders))
+		}
+		roster := make([]int, *founders)
+		for i := range roster {
+			roster[i] = i
+		}
+		sys.Membership.InitialMembers = roster
 	}
 
 	dc := data.CIFAR10Config(*scale, *seed+13)
@@ -86,6 +108,7 @@ func main() {
 		defer dbg.Close()
 		workerID := *id
 		obs.Publish("dlion.worker", func() any { return sink.Snapshot(workerID) })
+		sink.SetJoinHistogram(reg.Histogram("membership.join_latency"))
 		fmt.Println("debug server on", dbg.Addr())
 	}
 
@@ -98,11 +121,13 @@ func main() {
 	}
 
 	fmt.Printf("worker %d/%d (%s) training for %v via %s\n", *id, *n, sys.Name, *duration, *broker)
-	// SIGINT/SIGTERM stop training gracefully: Run returns, queued sends
-	// flush, and the process reports its final stats instead of dying mid-step.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM trigger a graceful LEAVE, not just a stop: the worker
+	// drains its queued sends, broadcasts membership tombstones so peers
+	// renormalize immediately instead of waiting out the liveness lease,
+	// and only then shuts its loop down (DESIGN.md §10).
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	ctx, cancel := context.WithTimeout(ctx, *duration)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 
 	// With -serve-publish set, the worker periodically snapshots its model
@@ -142,6 +167,20 @@ func main() {
 			}
 		}
 	}()
+	go func() {
+		select {
+		case <-sigCtx.Done():
+			fmt.Println("signal: leaving the federation")
+			lctx, lcancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := node.Leave(lctx, 5*time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "dlion-worker: leave:", err)
+			}
+			lcancel()
+			cancel() // tombstones are out (or timed out): stop the loop
+		case <-ctx.Done():
+			// normal duration expiry: Run returns and FlushSends below drains
+		}
+	}()
 	if err := node.Run(ctx); err != nil {
 		fatal(err)
 	}
@@ -153,6 +192,9 @@ func main() {
 	s := node.Worker().Stats()
 	fmt.Printf("done: %d iterations, %d samples, final loss %.3f\n",
 		s.Iters, s.SamplesProcessed, node.Worker().AvgRecentLoss())
+	w := node.Worker()
+	fmt.Printf("membership: state=%s epoch=%d roster=%d degraded_iters=%d\n",
+		w.State(), w.Epoch(), len(w.Members()), s.DegradedIters)
 	if sink != nil {
 		w := sink.Snapshot(*id)
 		fmt.Printf("phases: compute %.2fs serialize %.2fs send %.2fs recv-wait %.2fs apply %.2fs\n",

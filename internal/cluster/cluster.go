@@ -40,6 +40,12 @@ type Config struct {
 	// partitions, packet loss, delay, corruption — over virtual time. Nil
 	// runs fault-free. Crashed workers are restored from the schedule's
 	// periodic checkpoints and re-synced from the freshest live peer.
+	//
+	// Faults.Joins/Leaves drive elastic membership: a worker with a Join
+	// entry stays dormant (excluded from the founding roster) until its
+	// join time, when the driver runs the admission handshake toward its
+	// sponsor (or the freshest active member when Sponsor < 0); a Leave
+	// entry makes the worker depart gracefully at its time.
 	Faults *fault.Schedule
 
 	// Observe attaches a per-worker observability sink (internal/obs) and
@@ -85,6 +91,18 @@ type Result struct {
 
 	// Models exposes the final model replicas (inspection and tests).
 	Models []*nn.Model
+
+	// Membership is each worker's roster mutation history (always present;
+	// static runs log one seed entry). States and Rosters are the final
+	// membership state and roster per worker. The testkit churn gate
+	// asserts exact gradient-fanout renormalization over these logs.
+	Membership [][]core.EpochChange
+	States     []core.MemberState
+	Rosters    [][]int
+
+	// Events is the number of DES events the engine executed — the
+	// numerator of the sim-throughput benchmark (events per wall second).
+	Events uint64
 }
 
 func (c *Config) validate() error {
@@ -97,6 +115,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("cluster: network size mismatch")
 	case c.Horizon <= 0:
 		return fmt.Errorf("cluster: horizon %v", c.Horizon)
+	}
+	if c.Faults != nil && len(c.Faults.Joins) >= c.N {
+		return fmt.Errorf("cluster: all %d workers join; no founders", c.N)
 	}
 	return c.Faults.Validate(c.N)
 }
@@ -245,8 +266,47 @@ func Run(cfg Config) (*Result, error) {
 			env.obs[i] = obs.NewWorkerObs()
 		}
 	}
+	// Workers with a Join entry stay dormant: they are excluded from the
+	// founding roster and admitted via the handshake at their join time.
+	joiners := map[int]bool{}
+	if cfg.Faults != nil {
+		for _, j := range cfg.Faults.Joins {
+			joiners[j.Worker] = true
+		}
+	}
+	var founders []int
+	if len(joiners) > 0 {
+		for i := 0; i < cfg.N; i++ {
+			if !joiners[i] {
+				founders = append(founders, i)
+			}
+		}
+	}
+	// Iteration-triggered leaves are a per-worker config knob, not a timer.
+	leaveAfter := map[int]int64{}
+	if cfg.Faults != nil {
+		for _, l := range cfg.Faults.Leaves {
+			if l.AfterIters > 0 {
+				leaveAfter[l.Worker] = l.AfterIters
+			}
+		}
+	}
 	for i := range env.workers {
-		w, err := core.New(i, cfg.System, models[i], shards[i], env)
+		wcfg := cfg.System
+		if len(joiners) > 0 {
+			if joiners[i] {
+				wcfg.Membership.Join = true
+				wcfg.Membership.Sponsor = -1 // resolved at join time
+				wcfg.Membership.InitialMembers = nil
+			} else {
+				wcfg.Membership.Join = false
+				wcfg.Membership.InitialMembers = founders
+			}
+		}
+		if la := leaveAfter[i]; la > 0 {
+			wcfg.Membership.LeaveAfterIters = la
+		}
+		w, err := core.New(i, wcfg, models[i], shards[i], env)
 		if err != nil {
 			return nil, err
 		}
@@ -258,15 +318,24 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{System: cfg.System.Name}
 	evaluate := func() {
-		accs := make([]float64, cfg.N)
+		// Dormant (not yet admitted) joiners are excluded: their fresh
+		// replicas are not part of the federation. Crashed and departed
+		// workers keep contributing their frozen models, as before.
+		accs := make([]float64, 0, cfg.N)
 		var lossSum float64
 		for i, m := range models {
+			if st := env.workers[i].State(); st == core.StateJoining || st == core.StateSyncing {
+				continue
+			}
 			a, l := m.Evaluate(evalSet, cfg.EvalBatch)
-			accs[i] = a
+			accs = append(accs, a)
 			lossSum += l
 		}
+		if len(accs) == 0 {
+			return
+		}
 		res.Timeline = append(res.Timeline,
-			metrics.NewPoint(env.eng.Now(), accs, lossSum/float64(cfg.N)))
+			metrics.NewPoint(env.eng.Now(), accs, lossSum/float64(len(accs))))
 	}
 	trace := func() {
 		tr := Trace{T: env.eng.Now(), GBS: env.workers[0].GBS(),
@@ -290,8 +359,10 @@ func Run(cfg Config) (*Result, error) {
 		env.eng.Every(cfg.TracePeriod, trace, nil)
 	}
 	scheduleFaults(env, models, spec)
-	for _, w := range env.workers {
-		w.Start()
+	for i, w := range env.workers {
+		if !joiners[i] {
+			w.Start()
+		}
 	}
 	env.eng.Run(cfg.Horizon)
 
@@ -303,6 +374,9 @@ func Run(cfg Config) (*Result, error) {
 	for i, w := range env.workers {
 		res.Stats = append(res.Stats, w.Stats())
 		res.Iters = append(res.Iters, w.Iter())
+		res.Membership = append(res.Membership, w.MembershipLog())
+		res.States = append(res.States, w.State())
+		res.Rosters = append(res.Rosters, w.Members())
 		if env.obs != nil {
 			wr := env.obs[i].Snapshot(i)
 			wr.Iters = w.Iter()
@@ -312,6 +386,7 @@ func Run(cfg Config) (*Result, error) {
 	res.TotalBytes = env.sentBytes
 	res.Faults = env.inj.Stats()
 	res.Models = models
+	res.Events = env.eng.Executed()
 	return res, nil
 }
 
@@ -332,6 +407,42 @@ func scheduleFaults(env *simEnv, models []*nn.Model, spec nn.Spec) {
 			}
 		}, nil)
 		env.ckpts = ckpts
+	}
+	for _, j := range env.inj.Joins() {
+		j := j
+		env.eng.At(j.At, func() {
+			w := env.workers[j.Worker]
+			if w.Stopped() || w.State() != core.StateJoining {
+				return // crashed while dormant, or already joined
+			}
+			sponsor := j.Sponsor
+			if sponsor < 0 || sponsor == j.Worker ||
+				env.workers[sponsor].Stopped() || env.workers[sponsor].State() != core.StateActive {
+				sponsor = freshestLivePeer(env.workers, j.Worker)
+			}
+			if sponsor < 0 {
+				// Nobody is alive to sponsor: aim at any peer so the
+				// handshake times out into solo training instead of never
+				// starting.
+				sponsor = (j.Worker + 1) % len(env.workers)
+			}
+			env.inj.JoinExecuted()
+			w.StartJoin(sponsor)
+		})
+	}
+	for _, l := range env.inj.Leaves() {
+		l := l
+		if l.AfterIters > 0 {
+			continue // configured on the worker itself (step-exact trigger)
+		}
+		env.eng.At(l.At, func() {
+			w := env.workers[l.Worker]
+			if w.Stopped() || w.State() != core.StateActive {
+				return // already crashed, left, or never admitted
+			}
+			w.Leave()
+			env.inj.LeaveExecuted()
+		})
 	}
 	for _, cr := range env.inj.Crashes() {
 		cr := cr
@@ -361,12 +472,14 @@ func scheduleFaults(env *simEnv, models []*nn.Model, spec nn.Spec) {
 	}
 }
 
-// freshestLivePeer returns the running worker (other than self) with the
-// most completed iterations, or -1 when none is alive.
+// freshestLivePeer returns the running active member (other than self)
+// with the most completed iterations, or -1 when none is alive. Dormant
+// joiners are not members yet and cannot serve as rejoin sources or
+// admission sponsors.
 func freshestLivePeer(workers []*core.Worker, self int) int {
 	best, bestIter := -1, int64(-1)
 	for i, w := range workers {
-		if i == self || w.Stopped() {
+		if i == self || w.Stopped() || w.State() != core.StateActive {
 			continue
 		}
 		if w.Iter() > bestIter {

@@ -100,6 +100,46 @@ type GBSConfig struct {
 	TrainSetSize   int     // |train|, filled in by the cluster driver
 }
 
+// MembershipConfig parameterizes elastic membership: live join/leave of
+// workers in a running federation, with quorum-aware graceful degradation.
+// The zero value is the static-roster behavior every pre-elastic
+// configuration had: the roster is 0..NumWorkers-1 forever.
+type MembershipConfig struct {
+	// InitialMembers is the founding roster (worker ids, must include this
+	// worker). Empty means 0..NumWorkers-1 — the static-cluster default.
+	// Drivers set it when some of the address space joins later.
+	InitialMembers []int
+
+	// Join marks this worker as starting outside the federation: instead of
+	// training it runs the admission handshake — HELLO to Sponsor, adopt the
+	// WELCOME's epoch-stamped roster and weight snapshot, announce itself to
+	// the remaining members — and only then starts iterating.
+	Join bool
+	// Sponsor is the member the joiner sends its HELLO to. Drivers that
+	// resolve the sponsor at join time (e.g. freshest live member) call
+	// StartJoin directly and may leave this zero.
+	Sponsor int
+	// JoinTimeout bounds the admission handshake (seconds). When no WELCOME
+	// arrives in time the joiner degrades to solo training — roster of one,
+	// degraded iterations — rather than wedging (default 30).
+	JoinTimeout float64
+	// JoinRetry is the initial HELLO retry backoff in seconds; it doubles
+	// per retry, capped by the time left until JoinTimeout (default 2).
+	JoinRetry float64
+
+	// QuorumFloor is the minimum live cluster size (including self) for
+	// full-fidelity operation. Below it the worker keeps training locally
+	// but stops blocking on its sync strategy and counts every iteration as
+	// degraded (stats + obs). 0 disables the floor.
+	QuorumFloor int
+
+	// LeaveAfterIters, when > 0, makes the worker leave gracefully — final
+	// gradient exchange, tombstone broadcast, drain — after completing that
+	// many iterations. It is the deterministic leave trigger the churn
+	// equivalence harness uses; drivers usually call Leave instead.
+	LeaveAfterIters int64
+}
+
 // Config assembles a complete system variant.
 type Config struct {
 	Name         string
@@ -131,9 +171,10 @@ type Config struct {
 	// weights are comparable.
 	MaxIters int64
 
-	Batch BatchConfig
-	Sync  SyncConfig
-	DKT   DKTConfig
+	Batch      BatchConfig
+	Sync       SyncConfig
+	DKT        DKTConfig
+	Membership MembershipConfig
 
 	// EvalSubset caps how many test samples periodic accuracy evaluation
 	// uses (0 = all). Purely a harness knob.
@@ -159,6 +200,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: %s: liveness timeout %v", c.Name, c.LivenessTimeout)
 	case c.MaxIters < 0:
 		return fmt.Errorf("core: %s: max iters %d", c.Name, c.MaxIters)
+	case c.Membership.JoinTimeout < 0:
+		return fmt.Errorf("core: %s: join timeout %v", c.Name, c.Membership.JoinTimeout)
+	case c.Membership.JoinRetry < 0:
+		return fmt.Errorf("core: %s: join retry %v", c.Name, c.Membership.JoinRetry)
+	case c.Membership.QuorumFloor < 0:
+		return fmt.Errorf("core: %s: quorum floor %d", c.Name, c.Membership.QuorumFloor)
+	case c.Membership.LeaveAfterIters < 0:
+		return fmt.Errorf("core: %s: leave after iters %d", c.Name, c.Membership.LeaveAfterIters)
+	case c.Membership.Join && len(c.Membership.InitialMembers) > 0:
+		return fmt.Errorf("core: %s: Join and InitialMembers are mutually exclusive", c.Name)
 	}
 	return nil
 }
@@ -194,6 +245,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DKT.LossWindow == 0 {
 		c.DKT.LossWindow = 5
+	}
+	if c.Membership.JoinTimeout == 0 {
+		c.Membership.JoinTimeout = 30
+	}
+	if c.Membership.JoinRetry == 0 {
+		c.Membership.JoinRetry = 2
 	}
 	return c
 }

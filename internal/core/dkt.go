@@ -61,13 +61,19 @@ func (w *Worker) decideDKT() {
 		To: int32(best), Iter: w.iter})
 }
 
-// sendWeights answers a DKT request with a full copy of the local model.
-func (w *Worker) sendWeights(to int) {
+// cloneWeights snapshots the local model — the payload of DKT transfers
+// and membership WELCOMEs.
+func (w *Worker) cloneWeights() map[string]*tensor.Tensor {
 	weights := make(map[string]*tensor.Tensor)
 	for _, p := range w.model.Params() {
 		weights[p.Name] = p.W.Clone()
 	}
+	return weights
+}
+
+// sendWeights answers a DKT request with a full copy of the local model.
+func (w *Worker) sendWeights(to int) {
 	w.stats.DKTWeightsSent++
 	w.send(&wire.Message{Type: wire.TypeWeights, From: int32(w.ID),
-		To: int32(to), Iter: w.iter, Weights: weights})
+		To: int32(to), Iter: w.iter, Weights: w.cloneWeights()})
 }

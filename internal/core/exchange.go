@@ -39,6 +39,7 @@ func (w *Worker) exchangeGradients() {
 		w.lastBudget[p] = budget
 		w.lastSelCount[p] = grad.TotalCount(sels)
 		w.stats.GradValuesSent += int64(grad.TotalCount(sels))
+		w.stats.GradMsgsSent++
 		if len(sels) == 0 {
 			// Nothing significant to send (e.g. Gaia below threshold). The
 			// peer's sync bookkeeping still needs the iteration signal.
@@ -70,7 +71,7 @@ func (w *Worker) applyRemoteGradient(m *wire.Message) {
 			}
 		}
 	}
-	scale := float32(-w.cfg.LearningRate * db / float64(w.env.NumWorkers()))
+	scale := float32(-w.cfg.LearningRate * db / float64(w.clusterSize()))
 	for _, sel := range m.Selections {
 		p := w.model.Param(sel.Var)
 		if p == nil {

@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // gbsController computes the global batch size over time. All workers run
 // the same deterministic controller over the (loosely) shared clock, so
 // they agree on GBS without extra coordination — the decentralized analog
@@ -17,6 +19,25 @@ type gbsController struct {
 
 func newGBSController(cfg GBSConfig, initialGBS int) *gbsController {
 	return &gbsController{cfg: cfg, initial: initialGBS, cur: initialGBS}
+}
+
+// adopt aligns a joiner's controller with the federation's current GBS
+// (carried by the WELCOME) at join time t. In auto mode the adjustment
+// clock fast-forwards to the last period boundary so future adjustments
+// continue from the adopted value instead of replaying history on top of
+// it. Schedule-mode joiners inherit the already-doubled value but track
+// their own epoch progress from zero (documented in DESIGN.md §10).
+func (g *gbsController) adopt(gbs int, t float64) {
+	if gbs <= 0 {
+		return
+	}
+	g.cur = gbs
+	if g.cfg.Mode == "auto" && g.cfg.AdjustPeriod > 0 {
+		g.lastAdjust = t - math.Mod(t, g.cfg.AdjustPeriod)
+		if g.lastAdjust >= g.cfg.WarmupDuration {
+			g.inSpeedup = true
+		}
+	}
 }
 
 // GBSAt returns the global batch size at virtual time t given the training

@@ -48,8 +48,11 @@ type Stats struct {
 	MsgsRecvd        int64
 	BytesSent        int64
 	GradValuesSent   int64
+	GradMsgsSent     int64 // gradient messages (the renormalization gate's unit)
 	DKTWeightsSent   int64
 	DKTMerges        int64
+	WelcomesSent     int64 // admission snapshots served as a sponsor
+	DegradedIters    int64 // iterations completed below the quorum floor
 }
 
 // Worker is one DLion node. All methods must be invoked from the Env's
@@ -89,11 +92,22 @@ type Worker struct {
 	// Crash/restart lifecycle. A stopped worker ignores messages and its
 	// pending timers; gen invalidates timers armed before the last Stop so
 	// a resumed worker does not double-run its loops.
-	stopped   bool
-	gen       int
-	aliveFrom float64 // when this worker (re)started; liveness grace origin
-	rejoining    bool // next weights message is a rejoin snapshot: adopt fully
-	recheckArmed bool // a sync-liveness recheck timer is pending
+	stopped      bool
+	gen          int
+	aliveFrom    float64 // when this worker (re)started; liveness grace origin
+	rejoining    bool    // next weights message is a rejoin snapshot: adopt fully
+	recheckArmed bool    // a sync-liveness recheck timer is pending
+
+	// Elastic membership (membership.go). roster is the believed member
+	// set including self; members is its sorted cache; epoch counts roster
+	// mutations; memLog records them for the renormalization gates.
+	state     MemberState
+	roster    map[int]bool
+	members   []int
+	epoch     int64
+	memLog    []EpochChange
+	joinStart float64 // when the admission handshake began
+	joinWait  float64 // current HELLO retry backoff
 
 	stats Stats
 
@@ -128,7 +142,6 @@ func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Work
 		ID: id, cfg: cfg, env: env, model: model, shard: shard,
 		selector:     cfg.NewSelector(),
 		lbs:          cfg.Batch.InitialLBS,
-		gbs:          newGBSController(gcfg, cfg.Batch.InitialLBS*env.NumWorkers()),
 		rcp:          map[int]float64{},
 		peerIter:     map[int]int64{},
 		peerLoss:     map[int]float64{},
@@ -138,6 +151,12 @@ func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Work
 		trainSize:    trainSize,
 		deadSeen:     map[int]bool{},
 	}
+	if err := w.initMembership(); err != nil {
+		return nil, err
+	}
+	// The initial GBS is n·InitialLBS over the founding roster (a joiner
+	// starts at 1·InitialLBS and adopts the federation's GBS on WELCOME).
+	w.gbs = newGBSController(gcfg, cfg.Batch.InitialLBS*w.clusterSize())
 	return w, nil
 }
 
@@ -204,14 +223,27 @@ func (w *Worker) epochsDone() float64 {
 	return w.epochSamples / float64(w.trainSize)
 }
 
-// Start begins training: the initial capacity profile, the periodic
-// re-profiling loop, and the first iteration.
+// Start begins a founder's training: the initial capacity profile, the
+// periodic re-profiling loop, and the first iteration. A worker configured
+// with Membership.Join runs the admission handshake first and starts
+// training only once admitted (or once it falls back to solo mode).
 func (w *Worker) Start() {
+	if w.cfg.Membership.Join {
+		w.StartJoin(w.cfg.Membership.Sponsor)
+		return
+	}
 	if w.started {
 		panic("core: worker started twice")
 	}
 	w.started = true
 	w.aliveFrom = w.env.Now()
+	w.logMembership("seed")
+	w.startTraining()
+}
+
+// startTraining arms the profiling loop and the first iteration — shared by
+// founder start, join admission, and solo fallback.
+func (w *Worker) startTraining() {
 	if w.cfg.Batch.DynamicBatching {
 		w.profileAndBroadcast()
 		w.after(w.cfg.Batch.ProfilePeriod, w.profileLoop)
@@ -220,11 +252,14 @@ func (w *Worker) Start() {
 }
 
 // Stop kills the worker, as if its process died: pending timers become
-// no-ops and incoming messages are ignored until Resume.
+// no-ops and incoming messages are ignored until Resume. The armed-recheck
+// flag resets too — the gen bump already voided the pending timer, and a
+// stale flag would stop the resumed worker from ever re-arming it.
 func (w *Worker) Stop() {
 	w.stopped = true
 	w.gen++
 	w.waitingSync = false
+	w.recheckArmed = false
 }
 
 // Stopped reports whether the worker is currently stopped (crashed).
@@ -289,12 +324,14 @@ func (w *Worker) profileAndBroadcast() {
 	}
 }
 
+// peers returns the roster members other than self, in id order. Every
+// exchange path fans out over this set, so admissions and departures
+// renormalize the fan-out the moment the roster mutates.
 func (w *Worker) peers() []int {
-	n := w.env.NumWorkers()
-	out := make([]int, 0, n-1)
-	for i := 0; i < n; i++ {
-		if i != w.ID {
-			out = append(out, i)
+	out := make([]int, 0, len(w.members)-1)
+	for _, id := range w.members {
+		if id != w.ID {
+			out = append(out, id)
 		}
 	}
 	return out
@@ -352,17 +389,17 @@ func (w *Worker) send(m *wire.Message) {
 func (w *Worker) currentLBS() int {
 	gbs := w.gbs.GBSAt(w.env.Now(), w.epochsDone())
 	if !w.cfg.Batch.DynamicBatching {
-		l := gbs / w.env.NumWorkers()
+		l := gbs / w.clusterSize()
 		if l < 1 {
 			l = 1
 		}
 		return l
 	}
-	// Build the live cohort (self + live peers) in id order and remap RCP
-	// reports onto compact indices so lbsShares splits GBS among them only.
-	n := w.env.NumWorkers()
-	ids := make([]int, 0, n)
-	for i := 0; i < n; i++ {
+	// Build the live cohort (self + live roster peers) in id order and remap
+	// RCP reports onto compact indices so lbsShares splits GBS among them
+	// only.
+	ids := make([]int, 0, len(w.members))
+	for _, i := range w.members {
 		if i == w.ID || w.peerLive(i) {
 			ids = append(ids, i)
 		}
@@ -414,11 +451,23 @@ func (w *Worker) completeIteration() {
 	w.obs.AddPhase(obs.PhaseCompute, w.iterSec)
 	w.epochSamples += float64(w.gbs.GBSAt(w.env.Now(), w.epochsDone()))
 
-	// Local model update: own gradient with db = 1 (Eq. 7, j = k).
-	n := float64(w.env.NumWorkers())
+	// Local model update: own gradient with db = 1 (Eq. 7, j = k), averaged
+	// over the current roster size so departures renormalize the divisor.
+	n := float64(w.clusterSize())
 	w.model.ApplySGD(w.cfg.LearningRate / n)
 
+	if w.degradedNow() {
+		w.stats.DegradedIters++
+		w.obs.IncDegradedIter()
+	}
+
 	w.exchangeGradients()
+	if la := w.cfg.Membership.LeaveAfterIters; la > 0 && w.iter >= la {
+		// Deterministic graceful departure: the final gradients above drain
+		// ahead of the tombstones on the same FIFO links.
+		w.Leave()
+		return
+	}
 	w.maybeDKT()
 	w.maybeStartNext()
 }
@@ -466,10 +515,15 @@ func (w *Worker) armSyncRecheck() {
 }
 
 // canProceed implements the synch_training strategies (§4.2). Only live
-// peers participate: a sync or bounded strategy that kept waiting for a
-// crashed peer would deadlock the whole cluster, so dead peers' missing
-// gradients neither block progress nor count toward staleness.
+// roster peers participate: a sync or bounded strategy that kept waiting
+// for a crashed or departed peer would deadlock the whole cluster, so
+// their missing gradients neither block progress nor count toward
+// staleness. Below the quorum floor the strategies are bypassed entirely —
+// the worker trains on, marking iterations degraded instead of blocking.
 func (w *Worker) canProceed() bool {
+	if w.degradedNow() {
+		return true
+	}
 	switch w.cfg.Sync.Mode {
 	case SyncAsync:
 		return true
@@ -519,6 +573,12 @@ func (w *Worker) HandleMessage(m *wire.Message) {
 	}
 	switch m.Type {
 	case wire.TypeGradient:
+		if w.state == StateJoining || w.state == StateSyncing {
+			// Not admitted yet: the WELCOME snapshot will supersede the
+			// local weights, and the roster-of-one divisor would overweight
+			// the update.
+			return
+		}
 		if m.Iter > w.peerIter[from] {
 			w.peerIter[from] = m.Iter
 		}
@@ -527,6 +587,12 @@ func (w *Worker) HandleMessage(m *wire.Message) {
 			w.unblockSync()
 			w.startIteration()
 		}
+	case wire.TypeHello:
+		w.handleHello(m)
+	case wire.TypeWelcome:
+		w.handleWelcome(m)
+	case wire.TypeLeave:
+		w.handleLeave(m)
 	case wire.TypeRCPReport:
 		w.rcp[from] = m.RCP
 	case wire.TypeLossReport:

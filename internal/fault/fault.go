@@ -93,6 +93,33 @@ type Corrupt struct {
 	Window
 }
 
+// Join adds Worker to the federation at time At via the membership
+// admission handshake. Sponsor is the member the joiner HELLOs; Sponsor < 0
+// lets the harness pick a live member at join time. Workers with a Join
+// entry stay dormant (not started, not counted in founding rosters) until
+// At.
+type Join struct {
+	Worker  int
+	At      float64
+	Sponsor int
+}
+
+// Leave makes Worker depart gracefully at time At: drain in-flight sends,
+// broadcast a membership tombstone, and go silent. Unlike a Crash, peers
+// renormalize immediately instead of waiting for a liveness expiry.
+//
+// AfterIters > 0 selects the step-exact trigger instead: the worker leaves
+// after completing exactly that many of its own iterations (the core's
+// Membership.LeaveAfterIters), independent of wall or virtual time. The
+// equivalence harness uses this form — a time-scheduled leave lands on a
+// substrate-dependent iteration, an iteration-scheduled one does not. The
+// two triggers are mutually exclusive: with AfterIters set, At must be 0.
+type Leave struct {
+	Worker     int
+	At         float64
+	AfterIters int64
+}
+
 // BrokerOutage marks the message broker as down during the window. The
 // simulator has no broker; the realtime harness uses it to schedule broker
 // kill/restart in chaos tests, and ReconnectingClient is what survives it.
@@ -104,6 +131,8 @@ type BrokerOutage struct {
 // one run. The zero value (and a nil *Schedule) injects no faults.
 type Schedule struct {
 	Crashes    []Crash
+	Joins      []Join
+	Leaves     []Leave
 	Partitions []Partition
 	Loss       []Loss
 	Delays     []Delay
@@ -143,6 +172,39 @@ func (s *Schedule) Validate(n int) error {
 		}
 		if c.At < 0 {
 			return fmt.Errorf("fault: crash of worker %d at %v < 0", c.Worker, c.At)
+		}
+	}
+	joiners := map[int]bool{}
+	for _, j := range s.Joins {
+		if j.Worker < 0 || (n > 0 && j.Worker >= n) {
+			return fmt.Errorf("fault: join worker %d out of range (n=%d)", j.Worker, n)
+		}
+		if j.At < 0 {
+			return fmt.Errorf("fault: join of worker %d at %v < 0", j.Worker, j.At)
+		}
+		if n > 0 && j.Sponsor >= n {
+			return fmt.Errorf("fault: join sponsor %d out of range (n=%d)", j.Sponsor, n)
+		}
+		if j.Sponsor == j.Worker {
+			return fmt.Errorf("fault: worker %d sponsoring its own join", j.Worker)
+		}
+		if joiners[j.Worker] {
+			return fmt.Errorf("fault: worker %d joins twice", j.Worker)
+		}
+		joiners[j.Worker] = true
+	}
+	for _, l := range s.Leaves {
+		if l.Worker < 0 || (n > 0 && l.Worker >= n) {
+			return fmt.Errorf("fault: leave worker %d out of range (n=%d)", l.Worker, n)
+		}
+		if l.At < 0 {
+			return fmt.Errorf("fault: leave of worker %d at %v < 0", l.Worker, l.At)
+		}
+		if l.AfterIters < 0 {
+			return fmt.Errorf("fault: leave of worker %d after %d iters < 0", l.Worker, l.AfterIters)
+		}
+		if l.AfterIters > 0 && l.At != 0 {
+			return fmt.Errorf("fault: leave of worker %d sets both At and AfterIters", l.Worker)
 		}
 	}
 	for _, p := range s.Partitions {
@@ -237,6 +299,8 @@ type Stats struct {
 	DeadDrops   int64 // messages dropped because the receiver was down
 	Crashes     int64 // worker crashes executed
 	Restarts    int64 // worker restarts executed
+	Joins       int64 // membership joins initiated
+	Leaves      int64 // graceful leaves executed
 }
 
 // Injector answers per-message fault verdicts for a schedule. It is not
@@ -303,6 +367,12 @@ func (in *Injector) CrashExecuted() { in.stats.Crashes++ }
 // RestartExecuted records a worker restart performed by the harness.
 func (in *Injector) RestartExecuted() { in.stats.Restarts++ }
 
+// JoinExecuted records a membership join initiated by the harness.
+func (in *Injector) JoinExecuted() { in.stats.Joins++ }
+
+// LeaveExecuted records a graceful leave executed by the harness.
+func (in *Injector) LeaveExecuted() { in.stats.Leaves++ }
+
 // BrokerDown reports whether a broker outage window covers t.
 func (in *Injector) BrokerDown(t float64) bool {
 	if in.s == nil {
@@ -322,6 +392,22 @@ func (in *Injector) Crashes() []Crash {
 		return nil
 	}
 	return in.s.Crashes
+}
+
+// Joins returns the schedule's join list (nil for a nil schedule).
+func (in *Injector) Joins() []Join {
+	if in.s == nil {
+		return nil
+	}
+	return in.s.Joins
+}
+
+// Leaves returns the schedule's leave list (nil for a nil schedule).
+func (in *Injector) Leaves() []Leave {
+	if in.s == nil {
+		return nil
+	}
+	return in.s.Leaves
 }
 
 // CheckpointPeriod returns the schedule's checkpoint period (0 for none).

@@ -133,6 +133,7 @@ func TestValidate(t *testing.T) {
 		Crashes:          []Crash{{Worker: 1, At: 10, RestartAfter: 5}},
 		Partitions:       []Partition{{From: 0, To: Any, Window: Window{Start: 1, End: 2}}},
 		Loss:             []Loss{{From: Any, To: Any, Rate: 0.1}},
+		Leaves:           []Leave{{Worker: 2, At: 20}, {Worker: 3, AfterIters: 6}},
 		CheckpointPeriod: 5,
 	}
 	if err := good.Validate(4); err != nil {
@@ -150,6 +151,8 @@ func TestValidate(t *testing.T) {
 		{Delays: []Delay{{From: 0, To: 1, Extra: -1}}},
 		{Corruption: []Corrupt{{From: 0, To: 1, Rate: -0.1}}},
 		{CheckpointPeriod: -1},
+		{Leaves: []Leave{{Worker: 1, AfterIters: -3}}},
+		{Leaves: []Leave{{Worker: 1, At: 5, AfterIters: 3}}}, // ambiguous trigger
 	}
 	for i, s := range bad {
 		if err := s.Validate(4); err == nil {

@@ -237,6 +237,16 @@ type WorkerObs struct {
 
 	livenessExpiries atomic.Int64
 	syncBlocks       atomic.Int64
+
+	// Elastic membership (METRICS.md §membership): current roster size,
+	// roster epoch, iterations completed below the quorum floor, and the
+	// admission handshake latency (0 for founders). joinHist, when attached,
+	// additionally feeds a cluster-level join latency histogram.
+	rosterSize    atomic.Int64
+	epoch         atomic.Int64
+	degradedIters atomic.Int64
+	joinLatencyNS atomic.Int64
+	joinHist      *Histogram
 }
 
 // NewWorkerObs returns a zeroed per-worker sink.
@@ -291,6 +301,43 @@ func (o *WorkerObs) IncSyncBlock() {
 	}
 }
 
+// SetMembership records the worker's current roster size and roster epoch.
+// The roster size gauge keeps its high-water mark via Snapshot consumers;
+// here it is a plain last-value pair updated on every epoch change.
+func (o *WorkerObs) SetMembership(size, epoch int64) {
+	if o == nil {
+		return
+	}
+	o.rosterSize.Store(size)
+	o.epoch.Store(epoch)
+}
+
+// IncDegradedIter records one iteration completed below the quorum floor.
+func (o *WorkerObs) IncDegradedIter() {
+	if o != nil {
+		o.degradedIters.Add(1)
+	}
+}
+
+// SetJoinHistogram attaches a (usually registry-owned) histogram that
+// ObserveJoin also feeds, aggregating join latency across workers. Call
+// before Start; no-op on a nil sink.
+func (o *WorkerObs) SetJoinHistogram(h *Histogram) {
+	if o != nil {
+		o.joinHist = h
+	}
+}
+
+// ObserveJoin records the admission handshake latency in seconds (HELLO
+// sent → WELCOME adopted, or → solo fallback).
+func (o *WorkerObs) ObserveJoin(seconds float64) {
+	if o == nil || !(seconds >= 0) {
+		return
+	}
+	o.joinLatencyNS.Store(int64(seconds * 1e9))
+	o.joinHist.Observe(seconds)
+}
+
 // Snapshot renders the sink as the report schema's per-worker record. A
 // nil sink snapshots to a zeroed record with the given id.
 func (o *WorkerObs) Snapshot(id int) WorkerReport {
@@ -316,5 +363,9 @@ func (o *WorkerObs) Snapshot(id int) WorkerReport {
 	}
 	w.LivenessExpiries = o.livenessExpiries.Load()
 	w.SyncBlocks = o.syncBlocks.Load()
+	w.RosterSize = o.rosterSize.Load()
+	w.Epoch = o.epoch.Load()
+	w.DegradedIters = o.degradedIters.Load()
+	w.JoinLatencyS = float64(o.joinLatencyNS.Load()) / 1e9
 	return w
 }

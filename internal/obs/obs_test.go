@@ -163,3 +163,48 @@ func TestPhaseAndClassNames(t *testing.T) {
 		t.Fatal("out-of-range names must be unknown")
 	}
 }
+
+// TestMembershipObs pins the elastic-membership sink: roster/epoch gauges,
+// the degraded-iteration counter, join latency (snapshot field plus the
+// optional registry histogram), and nil-sink safety throughout.
+func TestMembershipObs(t *testing.T) {
+	o := NewWorkerObs()
+	reg := NewRegistry()
+	o.SetJoinHistogram(reg.Histogram("membership.join_latency"))
+
+	o.SetMembership(5, 2)
+	o.IncDegradedIter()
+	o.IncDegradedIter()
+	o.ObserveJoin(1.5)
+
+	w := o.Snapshot(3)
+	if w.RosterSize != 5 || w.Epoch != 2 {
+		t.Fatalf("roster/epoch %d/%d, want 5/2", w.RosterSize, w.Epoch)
+	}
+	if w.DegradedIters != 2 {
+		t.Fatalf("degraded iters %d, want 2", w.DegradedIters)
+	}
+	if w.JoinLatencyS < 1.4 || w.JoinLatencyS > 1.6 {
+		t.Fatalf("join latency %g, want ~1.5", w.JoinLatencyS)
+	}
+	h := reg.HistogramSummaries()["membership.join_latency"]
+	if h.Count != 1 || h.Max < 1.4 {
+		t.Fatalf("histogram summary %+v, want one ~1.5s observation", h)
+	}
+
+	// negative latency is clock skew, not data
+	o.ObserveJoin(-1)
+	if got := o.Snapshot(3).JoinLatencyS; got < 1.4 {
+		t.Fatalf("negative latency overwrote the record: %g", got)
+	}
+
+	// every method must be a no-op on a nil sink
+	var nilObs *WorkerObs
+	nilObs.SetMembership(1, 1)
+	nilObs.IncDegradedIter()
+	nilObs.SetJoinHistogram(nil)
+	nilObs.ObserveJoin(1)
+	if w := nilObs.Snapshot(0); w.RosterSize != 0 || w.DegradedIters != 0 {
+		t.Fatalf("nil sink snapshot %+v, want zeroed", w)
+	}
+}

@@ -76,6 +76,12 @@ type WorkerReport struct {
 
 	LivenessExpiries int64 `json:"liveness_expiries,omitempty"`
 	SyncBlocks       int64 `json:"sync_blocks,omitempty"`
+
+	// Elastic membership (zero for static clusters).
+	RosterSize    int64   `json:"roster_size,omitempty"`
+	Epoch         int64   `json:"epoch,omitempty"`
+	DegradedIters int64   `json:"degraded_iters,omitempty"`
+	JoinLatencyS  float64 `json:"join_latency_s,omitempty"`
 }
 
 // TimelinePoint is one accuracy evaluation of a training run.
@@ -94,6 +100,10 @@ type BenchResult struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// Extra holds custom metrics emitted via testing.B.ReportMetric (unit →
+	// value), e.g. the DES scalability benchmarks' "events/s".
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // ExperimentReport is one harness experiment's headline values.
@@ -184,6 +194,13 @@ func parseBenchLine(line string) (BenchResult, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units (e.g. "events/s") land in Extra so
+			// schema consumers can track them without a schema bump.
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[f[i+1]] = v
 		}
 	}
 	return b, seen

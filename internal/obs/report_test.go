@@ -85,3 +85,19 @@ ok  	dlion/internal/tensor	2.198s
 		t.Fatalf("second: %+v", got[1])
 	}
 }
+
+// TestParseBenchExtraUnits: custom b.ReportMetric units (the sim engine's
+// events/s throughput) must survive parsing into BenchResult.Extra.
+func TestParseBenchExtraUnits(t *testing.T) {
+	raw := "BenchmarkSimEvents/n=32-8  \t 10\t 5000000 ns/op\t  812345 events/s\n"
+	got, err := ParseGoBench(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(got))
+	}
+	if got[0].Extra["events/s"] != 812345 {
+		t.Fatalf("extra units %+v, want events/s=812345", got[0].Extra)
+	}
+}

@@ -2,6 +2,7 @@ package queue
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -17,11 +18,24 @@ type ReconnectConfig struct {
 	// MaxBackoff caps the exponential growth (default 2s).
 	MaxBackoff time.Duration
 	// Jitter randomizes each delay by ±Jitter fraction so a fleet of
-	// clients does not stampede a restarting broker (default 0.2).
+	// clients does not stampede a restarting broker. It must lie in
+	// [0, 1]: below 0 the scale factor is meaningless, above 1 a delay
+	// can go negative and fire immediately, defeating the backoff. The
+	// zero value selects the default 0.2 (use a tiny epsilon like 1e-9
+	// for effectively-unjittered backoff).
 	Jitter float64
 	// MaxAttempts bounds the dial attempts per operation; 0 retries until
 	// the client is closed.
 	MaxAttempts int
+}
+
+// Validate reports whether the configuration is usable. Zero values are
+// valid (they select the defaults); Jitter outside [0, 1] is not.
+func (c ReconnectConfig) Validate() error {
+	if c.Jitter < 0 || c.Jitter > 1 {
+		return fmt.Errorf("queue: reconnect jitter %g outside [0, 1]", c.Jitter)
+	}
+	return nil
 }
 
 func (c ReconnectConfig) withDefaults() ReconnectConfig {
@@ -69,8 +83,14 @@ func (r *ReconnectingClient) SetMetrics(reg *obs.Registry) {
 
 // DialReconnecting returns a client for the broker at addr. The connection
 // is established lazily on first use, so the broker may come up after the
-// client does.
+// client does. It panics when cfg fails Validate — a misconfigured jitter
+// is a programming error, and surfacing it at dial time beats a backoff
+// that silently fires immediately; call cfg.Validate first to reject
+// operator-supplied values gracefully.
 func DialReconnecting(addr string, cfg ReconnectConfig) *ReconnectingClient {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	return &ReconnectingClient{addr: addr, cfg: cfg.withDefaults(),
 		done: make(chan struct{})}
 }
@@ -104,16 +124,22 @@ func (r *ReconnectingClient) invalidate(c *Client) {
 	c.Close()
 }
 
+// jittered scales d by a uniform factor in [1-Jitter, 1+Jitter]. With
+// Jitter validated into [0, 1] the result can never go negative.
+func (r *ReconnectingClient) jittered(d time.Duration) time.Duration {
+	j := 1 + r.cfg.Jitter*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * j)
+}
+
 // backoff sleeps for the jittered delay, aborting early on Close. It
-// returns the next delay.
+// returns the next delay: doubled, capped at MaxBackoff.
 func (r *ReconnectingClient) backoff(d time.Duration) (time.Duration, error) {
 	r.mu.Lock()
 	c := r.mReconnects
 	r.mu.Unlock()
 	c.Inc()
-	j := 1 + r.cfg.Jitter*(2*rand.Float64()-1)
 	select {
-	case <-time.After(time.Duration(float64(d) * j)):
+	case <-time.After(r.jittered(d)):
 	case <-r.done:
 		return d, ErrClosed
 	}

@@ -293,3 +293,88 @@ func TestServerSurvivesClientVanishingMidBRPop(t *testing.T) {
 		t.Fatal("server Close hung after abrupt client disconnect")
 	}
 }
+
+// TestReconnectConfigValidate pins the documented jitter bound: anything
+// in [0, 1] is usable, anything outside is rejected.
+func TestReconnectConfigValidate(t *testing.T) {
+	for _, j := range []float64{0, 1e-9, 0.2, 0.5, 1} {
+		if err := (ReconnectConfig{Jitter: j}).Validate(); err != nil {
+			t.Errorf("jitter %g rejected: %v", j, err)
+		}
+	}
+	for _, j := range []float64{-1, -0.01, 1.01, 2} {
+		if err := (ReconnectConfig{Jitter: j}).Validate(); err == nil {
+			t.Errorf("jitter %g accepted, want error", j)
+		}
+	}
+}
+
+// TestDialReconnectingRejectsBadJitter: an out-of-range jitter is a
+// programming error surfaced at dial time, not a silent misbehavior.
+func TestDialReconnectingRejectsBadJitter(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DialReconnecting accepted jitter 1.5")
+		}
+	}()
+	DialReconnecting("127.0.0.1:0", ReconnectConfig{Jitter: 1.5})
+}
+
+// TestBackoffGrowthCapAndJitter pins the retry ladder: delays double from
+// InitialBackoff up to MaxBackoff and stay capped there, and each sleep is
+// scaled by a uniform factor inside the ±Jitter envelope — never outside
+// it, and in particular never negative.
+func TestBackoffGrowthCapAndJitter(t *testing.T) {
+	r := DialReconnecting("127.0.0.1:0", ReconnectConfig{
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     8 * time.Millisecond,
+		Jitter:         0.5,
+	})
+	defer r.Close()
+
+	// growth and cap: the returned next-delay sequence is deterministic
+	d := r.cfg.InitialBackoff
+	var got []time.Duration
+	for i := 0; i < 6; i++ {
+		next, err := r.backoff(d)
+		if err != nil {
+			t.Fatalf("backoff: %v", err)
+		}
+		got = append(got, next)
+		d = next
+	}
+	want := []time.Duration{2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond, 8 * time.Millisecond,
+		8 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff ladder %v, want %v", got, want)
+		}
+	}
+
+	// jitter envelope: the scale factor stays within ±Jitter of 1
+	lo, hi := 500*time.Millisecond, 1500*time.Millisecond
+	sawLow, sawHigh := false, false
+	for i := 0; i < 500; i++ {
+		j := r.jittered(time.Second)
+		if j < lo || j > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", j, lo, hi)
+		}
+		if j < 900*time.Millisecond {
+			sawLow = true
+		}
+		if j > 1100*time.Millisecond {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatal("jitter never spread beyond ±10%: not actually randomizing")
+	}
+
+	// defaulted config: zero jitter selects the documented 0.2
+	r2 := DialReconnecting("127.0.0.1:0", ReconnectConfig{})
+	defer r2.Close()
+	if r2.cfg.Jitter != 0.2 {
+		t.Fatalf("default jitter %g, want 0.2", r2.cfg.Jitter)
+	}
+}

@@ -208,17 +208,25 @@ func (n *Node) trySend(to int, p []byte) error {
 // stopping worker's final broadcasts live here — stopping at the first
 // transport error. Callers that need the flush to have happened before
 // closing the transport should gate on FlushSends.
+// A retired peer's channel is closed (see retireSender): the loop flushes
+// what is already queued, then exits on the closed-channel read.
 func (n *Node) sendLoop(to int, ch chan []byte) {
 	for {
 		select {
 		case <-n.done:
 			for {
 				select {
-				case p := <-ch:
+				case p, ok := <-ch:
+					if !ok {
+						return
+					}
 					if err := n.trySend(to, p); err != nil {
 						for { // transport gone: discard the remainder
 							select {
-							case <-ch:
+							case _, ok := <-ch:
+								if !ok {
+									return
+								}
 								n.sendPending.Add(-1)
 							default:
 								return
@@ -229,9 +237,27 @@ func (n *Node) sendLoop(to int, ch chan []byte) {
 					return
 				}
 			}
-		case p := <-ch:
+		case p, ok := <-ch:
+			if !ok {
+				return
+			}
 			_ = n.trySend(to, p)
 		}
+	}
+}
+
+// retireSender closes the outbound FIFO towards a departed peer so its
+// goroutine exits once the queue drains, and removes it from the map so a
+// later message to the same id (a rejoin under a recycled slot) gets a
+// fresh sender. Runs on the event loop, like enqueue — the loop serializes
+// the two, so close can never race a channel send.
+func (n *Node) retireSender(to int) {
+	n.sendMu.Lock()
+	ch := n.senders[to]
+	delete(n.senders, to)
+	n.sendMu.Unlock()
+	if ch != nil {
+		close(ch)
 	}
 }
 
@@ -284,6 +310,23 @@ func (n *Node) Inspect(ctx context.Context, fn func(w *core.Worker)) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Leave performs a graceful departure: the worker drains on the event
+// loop (broadcasting its LEAVE tombstones and stopping training), then
+// FlushSends waits for every queued frame — tombstones included — to reach
+// the transport, so a clean leave drops zero in-flight messages. The node
+// keeps servicing its loop afterwards (late arrivals are ignored by the
+// stopped worker); cancel Run's context to shut it down fully.
+func (n *Node) Leave(ctx context.Context, flushTimeout time.Duration) error {
+	if err := n.Inspect(ctx, func(w *core.Worker) { w.Leave() }); err != nil {
+		return err
+	}
+	if !n.FlushSends(flushTimeout) {
+		return fmt.Errorf("realtime: leave: %d frames still queued after %v",
+			n.sendPending.Load(), flushTimeout)
+	}
+	return nil
 }
 
 // Checkpoint snapshots the hosted worker's model without violating the
@@ -347,8 +390,18 @@ func (n *Node) Run(ctx context.Context) error {
 			if err != nil {
 				continue // corrupt frame: drop
 			}
+			fn := func() { n.worker.HandleMessage(m) }
+			if m.Type == wire.TypeLeave {
+				// The peer is gone: after the worker processes the
+				// tombstone, retire its outbound FIFO. Per-link FIFO
+				// ordering means nothing useful can follow a tombstone.
+				fn = func() {
+					n.worker.HandleMessage(m)
+					n.retireSender(int(m.From))
+				}
+			}
 			select {
-			case n.loop <- func() { n.worker.HandleMessage(m) }:
+			case n.loop <- fn:
 			case <-ctx.Done():
 				return
 			}

@@ -14,9 +14,10 @@ import "container/heap"
 // concurrent use; all event callbacks run on the caller's goroutine inside
 // Run/Step.
 type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
+	now      float64
+	seq      uint64
+	executed uint64
+	events   eventHeap
 }
 
 type event struct {
@@ -46,6 +47,10 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns how many events have fired since construction — the
+// numerator of a DES throughput measurement (events per wall second).
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) clamps to Now: the event runs next, preserving causality.
@@ -91,6 +96,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
+	e.executed++
 	ev.fn()
 	return true
 }

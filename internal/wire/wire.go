@@ -29,12 +29,23 @@ const (
 	TypeWeights                       // best worker's model weights
 	TypeRCPReport                     // relative compute power share (§3.2)
 	TypeSync                          // iteration-complete signal
+	TypeHello                         // membership: join request / announce
+	TypeWelcome                       // membership: admission (roster + weights)
+	TypeLeave                         // membership: graceful-leave tombstone
 )
 
 var typeNames = map[MsgType]string{
 	TypeGradient: "gradient", TypeLossReport: "loss", TypeDKTRequest: "dkt-req",
 	TypeWeights: "weights", TypeRCPReport: "rcp", TypeSync: "sync",
+	TypeHello: "hello", TypeWelcome: "welcome", TypeLeave: "leave",
 }
+
+// HelloNeedSync, when set in a Hello's Flags, asks the receiver to sponsor
+// the sender: reply with a Welcome carrying an epoch-stamped roster snapshot
+// and a full weight snapshot. A Hello without it is an announce — "add me to
+// your roster, I am already synced" — sent to the remaining members after
+// admission.
+const HelloNeedSync uint8 = 1 << 0
 
 // String returns the type's name.
 func (t MsgType) String() string {
@@ -61,6 +72,17 @@ type Message struct {
 	// Scalar payloads
 	Loss float64 // LossReport
 	RCP  float64 // RCPReport
+
+	// Membership payloads (Hello/Welcome/Leave). Epoch stamps the sender's
+	// roster version; Members is the Welcome roster snapshot (worker ids);
+	// GBS carries the sponsor's current global batch size so a joiner's
+	// controller starts from the federation's value; Flags holds the
+	// Hello option bits (HelloNeedSync). Welcome reuses Weights for the
+	// sponsor's model snapshot and Iter for its iteration count.
+	Epoch   int64
+	Members []int32
+	GBS     int32
+	Flags   uint8
 }
 
 // WireBytes returns the encoded size of the message without encoding it,
@@ -78,6 +100,16 @@ func (m *Message) WireBytes() int {
 		}
 	case TypeLossReport, TypeRCPReport:
 		n += 8
+	case TypeHello:
+		n += 1 + 8 // flags, epoch
+	case TypeWelcome:
+		n += 8 + 4 + 4 + 4*len(m.Members) // epoch, gbs, member count, ids
+		n += 4                            // weight count
+		for name, t := range m.Weights {
+			n += 2 + len(name) + 4 + 4*t.Len()
+		}
+	case TypeLeave:
+		n += 8 // epoch
 	}
 	return n
 }
@@ -106,20 +138,38 @@ func Encode(m *Message) []byte {
 			buf = encodeSelection(buf, s)
 		}
 	case TypeWeights:
-		buf = le32(buf, uint32(len(m.Weights)))
-		// deterministic order is not required for correctness; iterate map
-		for name, t := range m.Weights {
-			buf = le16(buf, uint16(len(name)))
-			buf = append(buf, name...)
-			buf = le32(buf, uint32(t.Len()))
-			for _, v := range t.Data {
-				buf = le32(buf, math.Float32bits(v))
-			}
-		}
+		buf = encodeWeights(buf, m.Weights)
 	case TypeLossReport:
 		buf = le64(buf, math.Float64bits(m.Loss))
 	case TypeRCPReport:
 		buf = le64(buf, math.Float64bits(m.RCP))
+	case TypeHello:
+		buf = append(buf, m.Flags)
+		buf = le64(buf, uint64(m.Epoch))
+	case TypeWelcome:
+		buf = le64(buf, uint64(m.Epoch))
+		buf = le32(buf, uint32(m.GBS))
+		buf = le32(buf, uint32(len(m.Members)))
+		for _, id := range m.Members {
+			buf = le32(buf, uint32(id))
+		}
+		buf = encodeWeights(buf, m.Weights)
+	case TypeLeave:
+		buf = le64(buf, uint64(m.Epoch))
+	}
+	return buf
+}
+
+func encodeWeights(buf []byte, w map[string]*tensor.Tensor) []byte {
+	buf = le32(buf, uint32(len(w)))
+	// deterministic order is not required for correctness; iterate map
+	for name, t := range w {
+		buf = le16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = le32(buf, uint32(t.Len()))
+		for _, v := range t.Data {
+			buf = le32(buf, math.Float32bits(v))
+		}
 	}
 	return buf
 }
@@ -188,32 +238,8 @@ func Decode(data []byte) (*Message, error) {
 			m.Selections = append(m.Selections, s)
 		}
 	case TypeWeights:
-		count, err := r.u32()
-		if err != nil {
+		if m.Weights, err = decodeWeights(r); err != nil {
 			return nil, err
-		}
-		if count > 1<<20 {
-			return nil, fmt.Errorf("%w: weight count %d", ErrCorrupt, count)
-		}
-		m.Weights = make(map[string]*tensor.Tensor, count)
-		for i := uint32(0); i < count; i++ {
-			name, err := r.str()
-			if err != nil {
-				return nil, err
-			}
-			n, err := r.u32()
-			if err != nil {
-				return nil, err
-			}
-			if int(n)*4 > r.remaining() {
-				return nil, ErrTruncated
-			}
-			t := tensor.New(int(n))
-			for k := 0; k < int(n); k++ {
-				bits, _ := r.u32()
-				t.Data[k] = math.Float32frombits(bits)
-			}
-			m.Weights[name] = t
 		}
 	case TypeLossReport:
 		bits, err := r.u64()
@@ -227,11 +253,88 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 		m.RCP = math.Float64frombits(bits)
+	case TypeHello:
+		if m.Flags, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if m.Flags > HelloNeedSync {
+			return nil, fmt.Errorf("%w: hello flags %#x", ErrCorrupt, m.Flags)
+		}
+		epoch, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.Epoch = int64(epoch)
+	case TypeWelcome:
+		epoch, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.Epoch = int64(epoch)
+		gbs, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.GBS = int32(gbs)
+		count, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if count > 1<<20 || int(count)*4 > r.remaining() {
+			return nil, fmt.Errorf("%w: member count %d", ErrCorrupt, count)
+		}
+		if count > 0 {
+			m.Members = make([]int32, count)
+			for i := range m.Members {
+				id, _ := r.u32()
+				m.Members[i] = int32(id)
+			}
+		}
+		if m.Weights, err = decodeWeights(r); err != nil {
+			return nil, err
+		}
+	case TypeLeave:
+		epoch, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.Epoch = int64(epoch)
 	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
 	}
 	return m, nil
+}
+
+func decodeWeights(r *reader) (map[string]*tensor.Tensor, error) {
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: weight count %d", ErrCorrupt, count)
+	}
+	w := make(map[string]*tensor.Tensor, count)
+	for i := uint32(0); i < count; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n)*4 > r.remaining() {
+			return nil, ErrTruncated
+		}
+		t := tensor.New(int(n))
+		for k := 0; k < int(n); k++ {
+			bits, _ := r.u32()
+			t.Data[k] = math.Float32frombits(bits)
+		}
+		w[name] = t
+	}
+	return w, nil
 }
 
 func decodeSelection(r *reader) (*grad.Selection, error) {

@@ -70,6 +70,59 @@ func TestScalarRoundTrips(t *testing.T) {
 	}
 }
 
+func TestMembershipRoundTrips(t *testing.T) {
+	for _, m := range []*Message{
+		{Type: TypeHello, From: 6, To: 0, Iter: 0, Flags: HelloNeedSync, Epoch: 2},
+		{Type: TypeHello, From: 6, To: 3, Iter: 40, Epoch: 3}, // announce: no sync flag
+		{Type: TypeLeave, From: 2, To: 4, Iter: 77, Epoch: 9},
+	} {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%v mismatch: %+v vs %+v", m.Type, m, got)
+		}
+	}
+
+	w := &Message{
+		Type: TypeWelcome, From: 0, To: 6, Iter: 120, Epoch: 4, GBS: 192,
+		Members: []int32{0, 1, 2, 6},
+		Weights: map[string]*tensor.Tensor{"fc/W": tensor.FromSlice([]float32{1.5, -2.5}, 2)},
+	}
+	got, err := Decode(Encode(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 4 || got.GBS != 192 || got.Iter != 120 {
+		t.Fatalf("welcome scalars: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Members, w.Members) {
+		t.Fatalf("members %v, want %v", got.Members, w.Members)
+	}
+	if got.Weights["fc/W"].Data[1] != -2.5 {
+		t.Fatalf("welcome weights %+v", got.Weights)
+	}
+
+	// an empty-roster, no-weights welcome still round-trips
+	empty := &Message{Type: TypeWelcome, From: 1, To: 2, Epoch: 1}
+	got, err = Decode(Encode(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Members) != 0 || len(got.Weights) != 0 {
+		t.Fatalf("empty welcome decoded to %+v", got)
+	}
+}
+
+func TestHelloRejectsUnknownFlags(t *testing.T) {
+	enc := Encode(&Message{Type: TypeHello, From: 1, To: 0, Flags: HelloNeedSync})
+	enc[1+4+4+8] |= 0x80 // set an undefined flag bit
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("undefined hello flag must be rejected")
+	}
+}
+
 func TestWireBytesMatchesEncoding(t *testing.T) {
 	for _, m := range []*Message{
 		gradientMsg(),
@@ -77,6 +130,10 @@ func TestWireBytesMatchesEncoding(t *testing.T) {
 		{Type: TypeDKTRequest},
 		{Type: TypeWeights, Weights: map[string]*tensor.Tensor{
 			"x": tensor.FromSlice([]float32{1, 2, 3}, 3)}},
+		{Type: TypeHello, Flags: HelloNeedSync, Epoch: 7},
+		{Type: TypeWelcome, Epoch: 2, GBS: 64, Members: []int32{0, 1, 5},
+			Weights: map[string]*tensor.Tensor{"x": tensor.FromSlice([]float32{1, 2}, 2)}},
+		{Type: TypeLeave, Epoch: 11},
 	} {
 		enc := Encode(m)
 		want := m.WireBytes()
