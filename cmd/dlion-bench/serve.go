@@ -45,6 +45,9 @@ func runServeBench(jsonPath string) error {
 	cases := []benchCase{
 		{"batch1", serve.Config{MaxBatch: 1, MaxDelay: 0, QueueDepth: 4096}, *serveConc},
 		{"batched", serve.Config{MaxBatch: *serveBatch, MaxDelay: 2 * time.Millisecond, QueueDepth: 4096}, *serveConc},
+		// Same shape as "batched" but on int8 replicas: the headline
+		// quantized-inference number (must not fall below the f32 baseline).
+		{"int8", serve.Config{MaxBatch: *serveBatch, MaxDelay: 2 * time.Millisecond, QueueDepth: 4096, Quantized: true}, *serveConc},
 		// Overload: far more clients than the queue holds, with small
 		// batches so the runner cannot drain the queue in one gulp —
 		// admission control has to shed.
@@ -114,10 +117,13 @@ func runServeBench(jsonPath string) error {
 	}
 
 	single, batched, over := results["batch1"], results["batched"], results["overload"]
+	int8 := results["int8"]
 	jr.Summary = map[string]float64{
 		"batch1_qps":     single.QPS,
 		"batched_qps":    batched.QPS,
 		"batch_speedup":  batched.QPS / single.QPS,
+		"int8_qps":       int8.QPS,
+		"int8_speedup":   int8.QPS / batched.QPS,
 		"overload_shed":  float64(over.Shed),
 		"overload_p99_s": over.Latency.P99,
 	}
@@ -135,7 +141,10 @@ func runServeBench(jsonPath string) error {
 	if over.Failed > 0 {
 		return fmt.Errorf("%d hard failures under overload", over.Failed)
 	}
-	fmt.Printf("micro-batching speedup: %.2fx; overload shed %d of %d\n",
-		batched.QPS/single.QPS, over.Shed, over.Sent)
+	if int8.QPS < batched.QPS {
+		return fmt.Errorf("int8 qps %.0f below f32 batched qps %.0f", int8.QPS, batched.QPS)
+	}
+	fmt.Printf("micro-batching speedup: %.2fx; int8 speedup: %.2fx; overload shed %d of %d\n",
+		batched.QPS/single.QPS, int8.QPS/batched.QPS, over.Shed, over.Sent)
 	return nil
 }

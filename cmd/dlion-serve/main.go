@@ -31,6 +31,7 @@ import (
 	"dlion/internal/obs"
 	"dlion/internal/queue"
 	"dlion/internal/serve"
+	"dlion/internal/tensor"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "max wait to fill a batch")
 		qDepth   = flag.Int("queue", 256, "admission queue depth; beyond it requests shed with 429")
 		runners  = flag.Int("runners", 1, "concurrent batch runners (each holds a model replica)")
+		int8Mode = flag.Bool("int8", false, "serve int8-quantized replicas (repacked on every version swap)")
 		dbgAddr  = flag.String("debug-addr", "", "serve pprof + expvar on this address (see METRICS.md)")
 	)
 	flag.Parse()
@@ -99,16 +101,24 @@ func main() {
 		fmt.Printf("subscribed to %s on %s\n", serve.WeightsChannel, *broker)
 	}
 
+	if *int8Mode {
+		tensor.AttachQuantMetrics(metrics)
+	}
 	srv, err := serve.Listen(serve.Config{
 		Registry: reg, Metrics: metrics,
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
 		QueueDepth: *qDepth, Runners: *runners,
+		Quantized: *int8Mode,
 	}, *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving on %s (batch<=%d, delay<=%v, queue %d)\n",
-		srv.Addr(), *maxBatch, *maxDelay, *qDepth)
+	mode := "f32"
+	if *int8Mode {
+		mode = "int8"
+	}
+	fmt.Printf("serving on %s (batch<=%d, delay<=%v, queue %d, %s)\n",
+		srv.Addr(), *maxBatch, *maxDelay, *qDepth, mode)
 
 	<-ctx.Done()
 	stop() // a second signal now kills the process the default way

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		sysName = flag.String("system", "dlion", "system: baseline, ako, gaia, hop, dlion, max10, dlion-no-wu, dlion-no-dbwu")
+		sysName = flag.String("system", "dlion", "system: baseline, ako, gaia, hop, dlion, dlion-quant, max10, dlion-no-wu, dlion-no-dbwu")
 		envName = flag.String("env", "Homo A", "Table 3 environment name (see -envs)")
 		horizon = flag.Float64("horizon", 300, "virtual seconds to simulate")
 		scale   = flag.Float64("scale", 0.05, "dataset scale (1.0 = the paper's full size)")
@@ -33,6 +33,7 @@ func main() {
 		trace   = flag.Bool("trace", false, "print LBS/gradient-size traces")
 		amplify = flag.Float64("amplify", 5, "wire-size amplification (see DESIGN.md)")
 		dktp    = flag.Int64("dkt-period", 10, "DLion DKT period in iterations (scaled)")
+		quant   = flag.String("quant", "", "wire precision: i8, f16, or auto (empty keeps f32; see WIRE.md)")
 		envs    = flag.Bool("envs", false, "list environments and exit")
 		repOut  = flag.String("report", "", "write a BENCH JSON run report (METRICS.md schema) to this file")
 		dbgAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address while running")
@@ -57,6 +58,9 @@ func main() {
 
 	sys, err := systems.ByName(*sysName)
 	if err != nil {
+		fatal(err)
+	}
+	if sys, err = systems.WithQuant(sys, *quant); err != nil {
 		fatal(err)
 	}
 	if sys.DKT.Enabled {
@@ -130,14 +134,19 @@ func buildReport(res *cluster.Result, sysName, envName string,
 		"scale": scale, "amplify": amplify, "seed": seed,
 	}
 	r.Workers = res.Obs
+	var quantSaved int64
+	for _, st := range res.Stats {
+		quantSaved += st.QuantBytesSaved
+	}
 	r.Counters = map[string]int64{
-		"net.delivered_bytes":   res.TotalBytes,
-		"fault.partition_drops": res.Faults.Partitioned,
-		"fault.loss_drops":      res.Faults.Lost,
-		"fault.corrupt_drops":   res.Faults.Corrupted,
-		"fault.dead_drops":      res.Faults.DeadDrops,
-		"fault.crashes":         res.Faults.Crashes,
-		"fault.restarts":        res.Faults.Restarts,
+		"net.delivered_bytes":    res.TotalBytes,
+		"wire.quant_bytes_saved": quantSaved,
+		"fault.partition_drops":  res.Faults.Partitioned,
+		"fault.loss_drops":       res.Faults.Lost,
+		"fault.corrupt_drops":    res.Faults.Corrupted,
+		"fault.dead_drops":       res.Faults.DeadDrops,
+		"fault.crashes":          res.Faults.Crashes,
+		"fault.restarts":         res.Faults.Restarts,
 	}
 	for _, pt := range res.Timeline {
 		r.Timeline = append(r.Timeline, obs.TimelinePoint{

@@ -33,6 +33,7 @@ func main() {
 		n        = flag.Int("workers", 2, "cluster size")
 		broker   = flag.String("broker", "127.0.0.1:6399", "broker address")
 		sysName  = flag.String("system", "dlion", "system preset")
+		quant    = flag.String("quant", "", "wire precision: i8, f16, or auto (empty keeps f32; see WIRE.md)")
 		seed     = flag.Uint64("seed", 7, "shared cluster seed")
 		scale    = flag.Float64("scale", 0.02, "dataset scale")
 		duration = flag.Duration("duration", 30*time.Second, "training duration")
@@ -50,6 +51,9 @@ func main() {
 	}
 	sys, err := systems.ByName(*sysName)
 	if err != nil {
+		fatal(err)
+	}
+	if sys, err = systems.WithQuant(sys, *quant); err != nil {
 		fatal(err)
 	}
 	if sys.DKT.Enabled {

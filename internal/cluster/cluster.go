@@ -54,6 +54,13 @@ type Config struct {
 	// points then see nil sinks and cost one branch each (see METRICS.md).
 	Observe bool
 
+	// PerWorker, when non-nil, rewrites worker id's core config before
+	// construction — heterogeneous experiments (mixed quantization accept
+	// masks, per-worker batch policy) without one Config per worker. It runs
+	// after the driver's own membership rewrites, so it sees (and may
+	// override) the final config.
+	PerWorker func(id int, c core.Config) core.Config
+
 	Seed uint64
 }
 
@@ -305,6 +312,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if la := leaveAfter[i]; la > 0 {
 			wcfg.Membership.LeaveAfterIters = la
+		}
+		if cfg.PerWorker != nil {
+			wcfg = cfg.PerWorker(i, wcfg)
 		}
 		w, err := core.New(i, wcfg, models[i], shards[i], env)
 		if err != nil {

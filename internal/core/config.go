@@ -140,6 +140,27 @@ type MembershipConfig struct {
 	LeaveAfterIters int64
 }
 
+// QuantConfig parameterizes gradient wire precision — the precision half of
+// the paper's §3.3 data quality adjustment, next to Max-N's sparsity half.
+// The zero value (f32, no auto) is the exact pre-quantization behavior.
+type QuantConfig struct {
+	// Precision is the fixed wire precision for outgoing gradient
+	// selections. Ignored when Auto is set.
+	Precision grad.Precision
+
+	// Auto derives the precision per link from the transmission speed
+	// assurance budget: f32 when the budget covers a full dense f32
+	// exchange, f16 when it covers half, int8 below that. Requires
+	// LinkBudget (there is no per-link budget to inspect without it).
+	Auto bool
+
+	// Accept is the mask of reduced precisions this worker accepts on
+	// inbound links, advertised to peers in HELLO/WELCOME. Zero defaults to
+	// accept-all; peers that never handshake (static founders) are assumed
+	// accept-all too, since founders share one binary by construction.
+	Accept grad.PrecMask
+}
+
 // Config assembles a complete system variant.
 type Config struct {
 	Name         string
@@ -175,6 +196,7 @@ type Config struct {
 	Sync       SyncConfig
 	DKT        DKTConfig
 	Membership MembershipConfig
+	Quant      QuantConfig
 
 	// EvalSubset caps how many test samples periodic accuracy evaluation
 	// uses (0 = all). Purely a harness knob.
@@ -210,6 +232,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: %s: leave after iters %d", c.Name, c.Membership.LeaveAfterIters)
 	case c.Membership.Join && len(c.Membership.InitialMembers) > 0:
 		return fmt.Errorf("core: %s: Join and InitialMembers are mutually exclusive", c.Name)
+	case !c.Quant.Precision.Valid():
+		return fmt.Errorf("core: %s: quant precision %d", c.Name, c.Quant.Precision)
+	case c.Quant.Auto && !c.LinkBudget:
+		return fmt.Errorf("core: %s: Quant.Auto requires LinkBudget", c.Name)
+	case c.Quant.Accept > grad.MaskAll:
+		return fmt.Errorf("core: %s: quant accept mask %#x", c.Name, uint8(c.Quant.Accept))
 	}
 	return nil
 }
@@ -251,6 +279,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Membership.JoinRetry == 0 {
 		c.Membership.JoinRetry = 2
+	}
+	if c.Quant.Accept == 0 {
+		c.Quant.Accept = grad.MaskAll
 	}
 	return c
 }

@@ -22,6 +22,15 @@ import (
 func (w *Worker) exchangeGradients() {
 	params := w.model.Params()
 	peers := w.livePeers()
+	quantOn := w.cfg.Quant.Auto || w.cfg.Quant.Precision != grad.PrecF32
+	fullDense := 0
+	if w.cfg.Quant.Auto {
+		totals := make([]int, len(params))
+		for i, p := range params {
+			totals[i] = p.G.Len()
+		}
+		fullDense = grad.DenseBytes(totals)
+	}
 	for _, p := range peers {
 		budget := 0
 		if w.cfg.LinkBudget {
@@ -35,7 +44,24 @@ func (w *Worker) exchangeGradients() {
 				budget = 64
 			}
 		}
-		sels := w.selector.Select(p, params, budget)
+		prec := grad.PrecF32
+		selBudget := budget
+		if quantOn {
+			prec = w.linkPrecision(p, budget, fullDense)
+			if prec != grad.PrecF32 {
+				// The selector thinks in f32 byte costs; a reduced-precision
+				// payload fits more values per budget byte, so the budget it
+				// sees is inflated by the entry-cost ratio.
+				selBudget = int(float64(budget) * grad.BudgetInflation(prec))
+			}
+		}
+		w.lastPrec[p] = prec
+		sels := w.selector.Select(p, params, selBudget)
+		if prec != grad.PrecF32 {
+			saved := grad.QuantizeAll(sels, prec)
+			w.stats.QuantBytesSaved += int64(saved)
+			w.obs.AddQuantSaved(saved)
+		}
 		w.lastBudget[p] = budget
 		w.lastSelCount[p] = grad.TotalCount(sels)
 		w.stats.GradValuesSent += int64(grad.TotalCount(sels))
@@ -50,6 +76,27 @@ func (w *Worker) exchangeGradients() {
 		w.send(&wire.Message{Type: wire.TypeGradient, From: int32(w.ID),
 			To: int32(p), Iter: w.iter, LBS: int32(w.lbs), Selections: sels})
 	}
+}
+
+// linkPrecision picks the wire precision for the link to peer p: the fixed
+// configured precision, or — in auto mode — the cheapest precision whose
+// loss is justified by the link's byte budget relative to a full dense f32
+// exchange (f32 when the budget covers it, f16 at half, int8 below). The
+// result is clamped by the peer's advertised accept mask, so a sender never
+// emits a precision its receiver did not negotiate for.
+func (w *Worker) linkPrecision(p, budget, fullDense int) grad.Precision {
+	prec := w.cfg.Quant.Precision
+	if w.cfg.Quant.Auto {
+		switch {
+		case budget <= 0 || budget >= fullDense:
+			prec = grad.PrecF32
+		case 2*budget >= fullDense:
+			prec = grad.PrecF16
+		default:
+			prec = grad.PrecI8
+		}
+	}
+	return w.PeerAcceptMask(p).Clamp(prec)
 }
 
 // applyRemoteGradient is the model update module: apply a peer's partial

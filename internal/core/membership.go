@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dlion/internal/grad"
 	"dlion/internal/wire"
 )
 
@@ -243,7 +244,7 @@ func (w *Worker) soloFallback() {
 // it is a join announcement from an already-admitted worker.
 func (w *Worker) sendHello(to int, needSync bool) {
 	m := &wire.Message{Type: wire.TypeHello, From: int32(w.ID), To: int32(to),
-		Iter: w.iter, Epoch: w.epoch}
+		Iter: w.iter, Epoch: w.epoch, Quant: uint8(w.cfg.Quant.Accept)}
 	if needSync {
 		m.Flags = wire.HelloNeedSync
 	}
@@ -259,6 +260,9 @@ func (w *Worker) handleHello(m *wire.Message) {
 		return // not yet a member; cannot admit or sponsor anyone
 	}
 	from := int(m.From)
+	// Record the sender's precision capabilities even on duplicate HELLOs:
+	// the mask rides every handshake message, so the freshest wins.
+	w.peerQuant[from] = grad.PrecMask(m.Quant)
 	if !w.roster[from] {
 		w.roster[from] = true
 		if m.Iter > w.peerIter[from] {
@@ -286,6 +290,7 @@ func (w *Worker) sendWelcome(to int) {
 	w.send(&wire.Message{Type: wire.TypeWelcome, From: int32(w.ID), To: int32(to),
 		Iter: w.iter, Epoch: w.epoch,
 		GBS:     int32(w.gbs.GBSAt(w.env.Now(), w.epochsDone())),
+		Quant:   uint8(w.cfg.Quant.Accept),
 		Members: members, Weights: w.cloneWeights()})
 }
 
@@ -298,6 +303,7 @@ func (w *Worker) handleWelcome(m *wire.Message) {
 	}
 	w.state = StateSyncing
 	sponsor := int(m.From)
+	w.peerQuant[sponsor] = grad.PrecMask(m.Quant)
 	w.roster = map[int]bool{w.ID: true}
 	for _, id := range m.Members {
 		w.roster[int(id)] = true
@@ -353,6 +359,7 @@ func (w *Worker) handleLeave(m *wire.Message) {
 	delete(w.rcp, from)
 	delete(w.lastHeard, from)
 	delete(w.deadSeen, from)
+	delete(w.peerQuant, from)
 	w.bumpEpoch("leave")
 	if w.waitingSync && w.canProceed() {
 		w.unblockSync()

@@ -53,6 +53,7 @@ type Stats struct {
 	DKTMerges        int64
 	WelcomesSent     int64 // admission snapshots served as a sponsor
 	DegradedIters    int64 // iterations completed below the quorum floor
+	QuantBytesSaved  int64 // wire bytes avoided by reduced-precision gradients
 }
 
 // Worker is one DLion node. All methods must be invoked from the Env's
@@ -82,6 +83,13 @@ type Worker struct {
 
 	lastSelCount map[int]int // per-peer gradient values sent last iteration
 	lastBudget   map[int]int // per-peer byte budget last iteration
+
+	// Per-link precision state (§3.3's precision half; see exchange.go).
+	// peerQuant holds the accept masks peers advertised in HELLO/WELCOME;
+	// absent peers default to accept-all (static founders never handshake).
+	// lastPrec records the precision chosen for each link last iteration.
+	peerQuant map[int]grad.PrecMask
+	lastPrec  map[int]grad.Precision
 
 	epochSamples float64 // cumulative global samples (GBS summed per iter)
 	trainSize    int
@@ -148,6 +156,8 @@ func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Work
 		lastHeard:    map[int]float64{},
 		lastSelCount: map[int]int{},
 		lastBudget:   map[int]int{},
+		peerQuant:    map[int]grad.PrecMask{},
+		lastPrec:     map[int]grad.Precision{},
 		trainSize:    trainSize,
 		deadSeen:     map[int]bool{},
 	}
@@ -202,6 +212,20 @@ func (w *Worker) LastSelectedCount(peer int) int { return w.lastSelCount[peer] }
 
 // LastBudget returns the most recent per-link byte budget for peer.
 func (w *Worker) LastBudget(peer int) int { return w.lastBudget[peer] }
+
+// LastPrecision returns the wire precision chosen for the link to peer on
+// the most recent gradient exchange (PrecF32 before any exchange).
+func (w *Worker) LastPrecision(peer int) grad.Precision { return w.lastPrec[peer] }
+
+// PeerAcceptMask returns the reduced-precision accept mask peer advertised
+// during membership negotiation; peers that never handshook (static
+// founders) default to accept-all.
+func (w *Worker) PeerAcceptMask(peer int) grad.PrecMask {
+	if m, ok := w.peerQuant[peer]; ok && m != 0 {
+		return m
+	}
+	return grad.MaskAll
+}
 
 // AvgRecentLoss returns the mean of the recent-loss window (+Inf before
 // any iteration completes, so fresh workers never win best-worker

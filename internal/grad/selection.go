@@ -23,6 +23,17 @@ type Selection struct {
 	Dense []float32 // dense representation (len == Total), or nil
 	Idx   []int32   // sparse indices, ascending, or nil
 	Val   []float32 // sparse values parallel to Idx
+
+	// Quantized wire payload (see quant.go). When Prec != PrecF32 the
+	// values that cross the wire are Q8 or F16 (parallel to Dense or Val),
+	// and Dense/Val hold their dequantized float32 image — what a receiver
+	// reconstructs, and what AddTo applies. Scale/Zero are the int8
+	// per-variable dequantization parameters.
+	Prec  Precision
+	Scale float32
+	Zero  int8
+	Q8    []int8
+	F16   []uint16
 }
 
 // sparseEntryBytes is the wire cost of one sparse (index, value) pair.
@@ -39,12 +50,15 @@ func (s *Selection) Count() int {
 	return len(s.Val)
 }
 
-// Bytes returns the wire size of the selection.
+// Bytes returns the wire size of the selection at its precision. The
+// int8 per-variable (scale, zero-point) pair rides inside the header
+// approximation.
 func (s *Selection) Bytes() int {
+	elem := s.Prec.ElemBytes()
 	if s.Dense != nil {
-		return headerBytes + 4*len(s.Dense)
+		return headerBytes + elem*len(s.Dense)
 	}
-	return headerBytes + sparseEntryBytes*len(s.Val)
+	return headerBytes + (4+elem)*len(s.Val)
 }
 
 // AddTo accumulates scale·selection into dst, which must be the variable's

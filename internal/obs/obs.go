@@ -238,6 +238,10 @@ type WorkerObs struct {
 	livenessExpiries atomic.Int64
 	syncBlocks       atomic.Int64
 
+	// wire.quant_bytes_saved (METRICS.md): wire bytes avoided by encoding
+	// gradient selections at reduced precision instead of f32.
+	quantBytesSaved atomic.Int64
+
 	// Elastic membership (METRICS.md §membership): current roster size,
 	// roster epoch, iterations completed below the quorum floor, and the
 	// admission handshake latency (0 for founders). joinHist, when attached,
@@ -285,6 +289,21 @@ func (o *WorkerObs) AddRecv(c MsgClass, bytes int) {
 	}
 	o.recvMsgs[c].Add(1)
 	o.recvBytes[c].Add(int64(bytes))
+}
+
+// AddQuantSaved records wire bytes avoided by reduced-precision encoding.
+func (o *WorkerObs) AddQuantSaved(bytes int) {
+	if o != nil && bytes > 0 {
+		o.quantBytesSaved.Add(int64(bytes))
+	}
+}
+
+// QuantBytesSaved returns the accumulated reduced-precision byte savings.
+func (o *WorkerObs) QuantBytesSaved() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.quantBytesSaved.Load()
 }
 
 // IncLivenessExpiry records one peer transitioning live → presumed dead.
@@ -363,6 +382,7 @@ func (o *WorkerObs) Snapshot(id int) WorkerReport {
 	}
 	w.LivenessExpiries = o.livenessExpiries.Load()
 	w.SyncBlocks = o.syncBlocks.Load()
+	w.QuantBytesSaved = o.quantBytesSaved.Load()
 	w.RosterSize = o.rosterSize.Load()
 	w.Epoch = o.epoch.Load()
 	w.DegradedIters = o.degradedIters.Load()

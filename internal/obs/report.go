@@ -76,6 +76,7 @@ type WorkerReport struct {
 
 	LivenessExpiries int64 `json:"liveness_expiries,omitempty"`
 	SyncBlocks       int64 `json:"sync_blocks,omitempty"`
+	QuantBytesSaved  int64 `json:"quant_bytes_saved,omitempty"`
 
 	// Elastic membership (zero for static clusters).
 	RosterSize    int64   `json:"roster_size,omitempty"`

@@ -41,6 +41,14 @@ type Config struct {
 	// version, so runners never contend on layer activation buffers.
 	Runners int
 
+	// Quantized switches runners to int8 inference: each runner packs its
+	// restored replica into an nn.QuantModel (per-output-channel int8
+	// weights, per-row activation quantization) and repacks on every
+	// version swap. Predictions stay deterministic; logits carry int8
+	// quantization error (see WIRE.md §precision model and EXPERIMENTS.md
+	// for the accuracy/throughput trade).
+	Quantized bool
+
 	// Metrics, when non-nil, receives the serve.* counters, gauges, and
 	// latency/batch histograms (METRICS.md). Nil runs uninstrumented.
 	Metrics *obs.Registry
@@ -310,6 +318,7 @@ func (s *Server) handleModelz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{
 		"seq": v.Seq, "source": v.Source, "at": v.At,
 		"model": s.cfg.Registry.Spec().Kind, "ckpt_bytes": len(v.Ckpt),
+		"quantized": s.cfg.Quantized,
 	})
 }
 
@@ -328,6 +337,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) runner() {
 	defer s.runners.Done()
 	var model *nn.Model
+	var fwd forwarder
 	seq := int64(-1)
 	var source string
 	for first := range s.queue {
@@ -349,11 +359,24 @@ func (s *Server) runner() {
 				seq = -1
 				continue
 			}
+			// Quantized packing captures a weight snapshot, so it must be
+			// redone after every restore.
+			if s.cfg.Quantized {
+				fwd = nn.NewQuantModel(model)
+			} else {
+				fwd = model
+			}
 			seq, source = v.Seq, v.Source
 		}
 
-		s.run(model, seq, source, batch)
+		s.run(fwd, seq, source, batch)
 	}
+}
+
+// forwarder abstracts the runner's inference engine: the f32 replica or its
+// int8-packed view.
+type forwarder interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
 }
 
 // collect assembles a micro-batch around the first request: it keeps
@@ -396,7 +419,7 @@ func (s *Server) collect(first *request) []*request {
 
 // run executes one micro-batch as a single forward pass and fans the rows
 // back out to their requests.
-func (s *Server) run(model *nn.Model, seq int64, source string, batch []*request) {
+func (s *Server) run(model forwarder, seq int64, source string, batch []*request) {
 	spec := s.cfg.Registry.Spec()
 	x := tensor.New(len(batch), spec.Channels, spec.Height, spec.Width)
 	for i, req := range batch {

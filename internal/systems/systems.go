@@ -124,6 +124,40 @@ func DLionNoWU() core.Config {
 	return c
 }
 
+// DLionQuant is DLion with the wire precision engaged as a second per-link
+// data-quality lever next to Max-N: the budget that already sizes each
+// link's selection now also picks the cheapest precision it justifies
+// (f32 → f16 → int8; see WIRE.md's precision/bandwidth model).
+func DLionQuant() core.Config {
+	c := DLion()
+	c.Name = "DLion-quant"
+	c.Quant = core.QuantConfig{Auto: true}
+	return c
+}
+
+// WithQuant applies a wire-precision mode to a preset: "i8" or "f16" fix
+// the precision on every link, "auto" lets the link budget choose (forcing
+// LinkBudget on, which auto requires), and "" returns c unchanged. The
+// system name gains a "-quant-<mode>" suffix so reports and golden gates
+// distinguish quantized runs.
+func WithQuant(c core.Config, mode string) (core.Config, error) {
+	switch strings.ToLower(mode) {
+	case "":
+		return c, nil
+	case "i8", "int8":
+		c.Quant = core.QuantConfig{Precision: grad.PrecI8}
+	case "f16":
+		c.Quant = core.QuantConfig{Precision: grad.PrecF16}
+	case "auto":
+		c.Quant = core.QuantConfig{Auto: true}
+		c.LinkBudget = true
+	default:
+		return c, fmt.Errorf("systems: unknown quant mode %q (want i8, f16, auto)", mode)
+	}
+	c.Name += "-quant-" + strings.ToLower(mode)
+	return c, nil
+}
+
 // MaxNOnly runs the Max N selector with a fixed N and nothing else from
 // DLion — no dynamic batching, no link budget, no DKT (the Figure 16
 // "Max10" configuration when n=10).
@@ -159,6 +193,8 @@ func ByName(name string) (core.Config, error) {
 		return DLionNoDBWU(), nil
 	case "dlion-no-wu":
 		return DLionNoWU(), nil
+	case "dlion-quant":
+		return DLionQuant(), nil
 	case "max10":
 		return MaxNOnly(10), nil
 	default:

