@@ -3,7 +3,7 @@
 # reconnecting client, real-mode runtime, serving) plus the nn
 # checkpoint-vs-Forward concurrency tests; running it repo-wide would
 # multiply simulation test time ~20x for no extra coverage.
-.PHONY: check build vet test race fuzz-smoke conformance bench bench-serve bench-sim chaos
+.PHONY: check build vet test race fuzz-smoke conformance bench bench-serve bench-sim chaos e2e-jobs
 
 check: build vet test race fuzz-smoke
 
@@ -17,8 +17,8 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/queue/... ./internal/realtime/... ./internal/serve/...
-	go test -race -run 'Concurrent' ./internal/nn/...
+	go test -race ./internal/queue/... ./internal/realtime/... ./internal/serve/... ./internal/jobs/...
+	go test -race -run 'Concurrent' ./internal/nn/... ./internal/obs/...
 
 # Short fuzz pass over the wire decoder and framer: catches panics and
 # canonicalization regressions without the cost of a long campaign. The
@@ -56,6 +56,12 @@ bench-sim:
 	go test -run='^$$' -bench=SimEvents -benchtime=1x ./internal/cluster \
 		| go run ./cmd/dlion-benchfmt -name sim -out BENCH_sim.json \
 			-baseline BENCH_sim.json -regress '$(or $(BENCH_REGRESS),0)'
+
+# Control-plane end-to-end gate (see TESTING.md): one broker, two
+# concurrent jobs with different sync strategies trained to completion over
+# the REST API, quota rejection, and store persistence — under -race.
+e2e-jobs:
+	go test -race -count=1 -run 'TestE2E' ./internal/jobs
 
 # Churn soak for the scheduled CI job: the sim churn scenarios and the
 # membership protocol tests, repeated under the race detector. -count=3

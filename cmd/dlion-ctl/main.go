@@ -1,0 +1,142 @@
+// Command dlion-ctl is the control-plane client: it submits, lists,
+// inspects, and halts training jobs against a dlion-controller's REST API.
+//
+// Usage:
+//
+//	dlion-ctl [-api http://127.0.0.1:8081] <command> [args]
+//
+//	submit  -system <preset> -workers N -max-iters N [...]  submit a job
+//	list                                                    all jobs
+//	get     <job-id>                                        one job record
+//	metrics <job-id>                                        folded obs + accuracy
+//	halt    <job-id>                                        stop a job
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"dlion/internal/jobs"
+)
+
+func main() {
+	api := flag.String("api", "http://127.0.0.1:8081", "controller API base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*api, "/")
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(base, args)
+	case "list":
+		err = cmdList(base)
+	case "get":
+		err = cmdOne(base, args, "")
+	case "metrics":
+		err = cmdOne(base, args, "/metrics")
+	case "halt":
+		err = cmdHalt(base, args)
+	default:
+		fmt.Fprintf(os.Stderr, "dlion-ctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlion-ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dlion-ctl [-api URL] {submit|list|get|metrics|halt} [args]")
+	fmt.Fprintln(os.Stderr, "  submit -system <preset> -workers N -max-iters N [-quant M] [-tenant T] [-slots N] [-scale F] [-seed N] [-lbs N] [-name S]")
+	fmt.Fprintln(os.Stderr, "  get|metrics|halt <job-id>")
+}
+
+func cmdSubmit(base string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var spec jobs.Spec
+	fs.StringVar(&spec.Name, "name", "", "human label")
+	fs.StringVar(&spec.Tenant, "tenant", "", "quota bucket (default: default)")
+	fs.StringVar(&spec.System, "system", "dlion", "system preset (baseline, ako, gaia, hop, dlion, ...)")
+	fs.StringVar(&spec.Quant, "quant", "", "wire precision: i8, f16, auto")
+	fs.IntVar(&spec.Workers, "workers", 2, "worker group size")
+	fs.IntVar(&spec.Slots, "slots", 0, "address space incl. joiner slots (0 = workers)")
+	fs.Int64Var(&spec.MaxIters, "max-iters", 100, "per-worker iteration budget")
+	fs.Float64Var(&spec.Scale, "scale", 0, "dataset scale (0 = default)")
+	fs.Uint64Var(&spec.Seed, "seed", 0, "cluster seed (0 = default)")
+	fs.IntVar(&spec.LBS, "lbs", 0, "initial local batch size (0 = preset's)")
+	fs.Parse(args)
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	return printResponse(resp)
+}
+
+func cmdList(base string) error {
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		return err
+	}
+	return printResponse(resp)
+}
+
+func cmdOne(base string, args []string, suffix string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("need exactly one job id")
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + args[0] + suffix)
+	if err != nil {
+		return err
+	}
+	return printResponse(resp)
+}
+
+func cmdHalt(base string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("need exactly one job id")
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return printResponse(resp)
+}
+
+// printResponse relays the API's JSON to stdout; non-2xx responses (the
+// structured error envelope) become a non-zero exit via the returned error.
+func printResponse(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Println()
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("HTTP %s", resp.Status)
+	}
+	return nil
+}

@@ -55,6 +55,18 @@ func main() {
 	if (*ckptDir == "") == (*broker == "") {
 		fatal(fmt.Errorf("set exactly one of -ckpt-dir or -broker (their version clocks differ; see internal/serve)"))
 	}
+	switch {
+	case *scale < 0.001 || *scale > 1:
+		fatal(fmt.Errorf("-scale %g outside [0.001,1]", *scale))
+	case *maxBatch < 1:
+		fatal(fmt.Errorf("-max-batch %d; need >= 1", *maxBatch))
+	case *qDepth < 1:
+		fatal(fmt.Errorf("-queue %d; need >= 1", *qDepth))
+	case *runners < 1:
+		fatal(fmt.Errorf("-runners %d; need >= 1", *runners))
+	case *watchInt <= 0:
+		fatal(fmt.Errorf("-watch-interval %v; need > 0", *watchInt))
+	}
 
 	// Identical spec derivation to dlion-worker: same scale and seed give
 	// the same architecture, so worker checkpoints restore here.

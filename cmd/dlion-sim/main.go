@@ -56,6 +56,17 @@ func main() {
 		return
 	}
 
+	switch {
+	case *horizon <= 0:
+		fatal(fmt.Errorf("-horizon %g; need > 0 virtual seconds", *horizon))
+	case *scale < 0.001 || *scale > 1:
+		fatal(fmt.Errorf("-scale %g outside [0.001,1]", *scale))
+	case *amplify <= 0:
+		fatal(fmt.Errorf("-amplify %g; need > 0", *amplify))
+	case *dktp < 1:
+		fatal(fmt.Errorf("-dkt-period %d; need >= 1 iteration", *dktp))
+	}
+
 	sys, err := systems.ByName(*sysName)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// good returns a valid flag set to mutate per case.
+func good() workerFlags {
+	return workerFlags{ID: 0, Workers: 2, Broker: "127.0.0.1:6399",
+		System: "dlion", Scale: 0.02}
+}
+
+func TestWorkerFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*workerFlags)
+		wantErr string // substring of the error; "" = must pass
+	}{
+		{"defaults pass", func(f *workerFlags) {}, ""},
+		{"empty broker", func(f *workerFlags) { f.Broker = "" }, "-broker is empty"},
+		{"zero workers", func(f *workerFlags) { f.Workers = 0 }, "-workers"},
+		{"negative id", func(f *workerFlags) { f.ID = -1 }, "-id"},
+		{"id past cluster", func(f *workerFlags) { f.ID = 2 }, "-id"},
+		{"negative quorum", func(f *workerFlags) { f.Quorum = -1 }, "-quorum"},
+		{"negative founders", func(f *workerFlags) { f.Founders = -3 }, "-founders"},
+		{"founders past cluster", func(f *workerFlags) { f.Founders = 5 }, "-founders"},
+		{"join plus founders", func(f *workerFlags) { f.Join = true; f.Sponsor = 1; f.Founders = 1 },
+			"mutually exclusive"},
+		{"join with out-of-range sponsor", func(f *workerFlags) { f.Join = true; f.Sponsor = 9 },
+			"-sponsor"},
+		{"join sponsoring itself", func(f *workerFlags) { f.ID = 1; f.Join = true; f.Sponsor = 1 },
+			"-sponsor"},
+		{"valid join", func(f *workerFlags) { f.ID = 1; f.Join = true; f.Sponsor = 0 }, ""},
+		{"scale too small", func(f *workerFlags) { f.Scale = 0.0001 }, "-scale"},
+		{"scale too big", func(f *workerFlags) { f.Scale = 2 }, "-scale"},
+		{"unknown system", func(f *workerFlags) { f.System = "nope" }, "unknown system"},
+		{"invalid quant", func(f *workerFlags) { f.Quant = "i4" }, "quant"},
+		{"valid quant", func(f *workerFlags) { f.Quant = "i8" }, ""},
+		{"bad job id", func(f *workerFlags) { f.Job = "has spaces" }, "-job"},
+		{"valid job id", func(f *workerFlags) { f.Job = "job-3" }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := good()
+			tc.mutate(&f)
+			_, err := f.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() passed, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error %q is not one line", err)
+			}
+		})
+	}
+}
+
+func TestWorkerFlagNamespace(t *testing.T) {
+	f := good()
+	if ns := f.namespace(); ns != "" {
+		t.Errorf("root namespace = %q, want empty", ns)
+	}
+	f.Job = "job-7"
+	if got := f.namespace().DataKey(3); got != "dlion:job:job-7:data:3" {
+		t.Errorf("job data key = %q", got)
+	}
+}
+
+func TestWorkerFlagJobLabel(t *testing.T) {
+	f := good()
+	f.Job = "job-7"
+	sys, err := f.validate()
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if sys.Job != "job-7" || !strings.HasSuffix(sys.Name, "@job-7") {
+		t.Errorf("config Job=%q Name=%q, want job label applied", sys.Job, sys.Name)
+	}
+}

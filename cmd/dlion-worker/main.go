@@ -24,7 +24,6 @@ import (
 	"dlion/internal/obs"
 	"dlion/internal/realtime"
 	"dlion/internal/serve"
-	"dlion/internal/systems"
 )
 
 func main() {
@@ -43,17 +42,15 @@ func main() {
 		sponsor  = flag.Int("sponsor", 0, "member to request admission from when -join is set")
 		founders = flag.Int("founders", 0, "founding roster is ids [0,founders); 0 means all -workers slots found the cluster")
 		quorum   = flag.Int("quorum", 0, "mark iterations degraded when the live cluster shrinks below this size (0 disables)")
+		job      = flag.String("job", "", "attach to this control-plane job's channel namespace (usually with -join; see DESIGN.md §12)")
 	)
 	flag.Parse()
 
-	if *id < 0 || *id >= *n {
-		fatal(fmt.Errorf("id %d outside [0,%d)", *id, *n))
-	}
-	sys, err := systems.ByName(*sysName)
+	wf := workerFlags{ID: *id, Workers: *n, Broker: *broker, System: *sysName,
+		Quant: *quant, Job: *job, Scale: *scale, Join: *join, Sponsor: *sponsor,
+		Founders: *founders, Quorum: *quorum}
+	sys, err := wf.validate()
 	if err != nil {
-		fatal(err)
-	}
-	if sys, err = systems.WithQuant(sys, *quant); err != nil {
 		fatal(err)
 	}
 	if sys.DKT.Enabled {
@@ -89,7 +86,7 @@ func main() {
 	}
 	spec := nn.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, *seed+1000)
 
-	tr, err := realtime.NewClientTransport(*broker, *id)
+	tr, err := realtime.NewClientTransportNS(*broker, *id, wf.namespace())
 	if err != nil {
 		fatal(err)
 	}

@@ -166,6 +166,12 @@ type Config struct {
 	Name         string
 	LearningRate float64
 
+	// Job labels the control-plane training job this worker belongs to
+	// (empty for hand-launched clusters). It is a pure label: the lifecycle
+	// manager stamps it into worker reports and error messages so one
+	// broker's concurrent jobs stay attributable.
+	Job string
+
 	// NewSelector builds the per-worker gradient selector (selectors are
 	// stateful, so each worker needs its own instance).
 	NewSelector func() grad.Selector

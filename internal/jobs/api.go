@@ -1,0 +1,142 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+)
+
+// API is the control plane's REST/JSON tier over a Manager:
+//
+//	POST   /v1/jobs              submit a job (Spec body) → 201 + Job
+//	GET    /v1/jobs              list all jobs, newest first
+//	GET    /v1/jobs/{id}         one job's record
+//	DELETE /v1/jobs/{id}         halt a job
+//	GET    /v1/jobs/{id}/metrics the monitor's folded JobMetrics
+//
+// Errors come back as {"error":{"code":...,"message":...}}: bad specs are
+// 400s, unknown ids 404s, halting a terminal job 409, and quota or queue
+// pressure 429 with a Retry-After header — the same admission-shedding
+// contract internal/serve's predict path exposes.
+type API struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// maxSpecBody bounds a POST /v1/jobs request body.
+const maxSpecBody = 1 << 16
+
+// NewAPI builds the REST tier over m.
+func NewAPI(m *Manager) *API {
+	a := &API{m: m, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
+	a.mux.HandleFunc("GET /v1/jobs", a.handleList)
+	a.mux.HandleFunc("GET /v1/jobs/{id}", a.handleGet)
+	a.mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleHalt)
+	a.mux.HandleFunc("GET /v1/jobs/{id}/metrics", a.handleMetrics)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// Serve runs the API on ln until the listener closes.
+func (a *API) Serve(ln net.Listener) error {
+	return (&http.Server{Handler: a}).Serve(ln)
+}
+
+// apiError is the structured error envelope.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeError maps a jobs error onto a status code + structured body.
+func writeError(w http.ResponseWriter, err error) {
+	code, status := "internal", http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		code, status = "quota_exceeded", http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrQueueFull):
+		code, status = "queue_full", http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrNotFound):
+		code, status = "not_found", http.StatusNotFound
+	case errors.Is(err, ErrTerminal):
+		code, status = "already_terminal", http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		code, status = "shutting_down", http.StatusServiceUnavailable
+	case errors.Is(err, errBadRequest):
+		code, status = "bad_request", http.StatusBadRequest
+	default:
+		// Validation errors from Spec.Validate / systems resolution.
+		code, status = "invalid_spec", http.StatusBadRequest
+	}
+	var body apiError
+	body.Error.Code = code
+	body.Error.Message = err.Error()
+	writeJSON(w, status, &body)
+}
+
+// errBadRequest tags malformed request bodies (vs. well-formed bad specs).
+var errBadRequest = errors.New("jobs: bad request")
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, errors.Join(errBadRequest, err))
+		return
+	}
+	j, err := a.m.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, j)
+}
+
+func (a *API) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.List())
+}
+
+func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (a *API) handleHalt(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Halt(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	jm, err := a.m.JobMetrics(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jm)
+}

@@ -1,0 +1,200 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// testAPI stands up the REST tier over a small manager.
+func testAPI(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := testManager(t, cfg)
+	srv := httptest.NewServer(NewAPI(m))
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+// post submits spec and returns the status code and decoded body.
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// decodeErr extracts the structured error code from an error response.
+func decodeErr(t *testing.T, raw []byte) string {
+	t.Helper()
+	var e apiError
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("error body %q not structured: %v", raw, err)
+	}
+	if e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("error body %q missing code or message", raw)
+	}
+	return e.Error.Code
+}
+
+func TestAPISubmitAndGet(t *testing.T) {
+	_, srv := testAPI(t, Config{})
+	resp, raw := post(t, srv.URL, tinySpec("baseline"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST status %d, body %s", resp.StatusCode, raw)
+	}
+	var j Job
+	if err := json.Unmarshal(raw, &j); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	if j.ID == "" || j.State != StateQueued {
+		t.Fatalf("created job %+v, want queued with id", j)
+	}
+
+	// GET by id round-trips.
+	get, err := http.Get(srv.URL + "/v1/jobs/" + j.ID)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer get.Body.Close()
+	var got Job
+	if err := json.NewDecoder(get.Body).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.ID != j.ID {
+		t.Fatalf("GET returned %q, want %q", got.ID, j.ID)
+	}
+
+	// List contains it.
+	list, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET list: %v", err)
+	}
+	defer list.Body.Close()
+	var all []Job
+	if err := json.NewDecoder(list.Body).Decode(&all); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(all) != 1 || all[0].ID != j.ID {
+		t.Fatalf("list %+v, want the one job", all)
+	}
+}
+
+func TestAPIBadRequests(t *testing.T) {
+	_, srv := testAPI(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		code string
+	}{
+		{"unknown system", Spec{System: "nope", Workers: 2, MaxIters: 3}, "invalid_spec"},
+		{"zero workers", Spec{System: "baseline", Workers: 0, MaxIters: 3}, "invalid_spec"},
+		{"bad quant", Spec{System: "baseline", Workers: 2, MaxIters: 3, Quant: "i4"}, "invalid_spec"},
+		{"unknown field", map[string]any{"system": "baseline", "workerz": 2}, "bad_request"},
+	}
+	for _, tc := range cases {
+		resp, raw := post(t, srv.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, resp.StatusCode, raw)
+			continue
+		}
+		if code := decodeErr(t, raw); code != tc.code {
+			t.Errorf("%s: error code %q, want %q", tc.name, code, tc.code)
+		}
+	}
+}
+
+func TestAPIQuotaRejection(t *testing.T) {
+	_, srv := testAPI(t, Config{MaxConcurrent: 1, TenantQuota: 1})
+	if resp, raw := post(t, srv.URL, tinySpec("baseline")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first POST status %d, body %s", resp.StatusCode, raw)
+	}
+	resp, raw := post(t, srv.URL, tinySpec("baseline"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second POST status %d, want 429 (body %s)", resp.StatusCode, raw)
+	}
+	if code := decodeErr(t, raw); code != "quota_exceeded" {
+		t.Errorf("error code %q, want quota_exceeded", code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+}
+
+func TestAPINotFoundAndConflict(t *testing.T) {
+	m, srv := testAPI(t, Config{})
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-404")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown id status %d, want 404", resp.StatusCode)
+	}
+
+	// Halt a completed job → 409 with the structured code.
+	j, err := m.Submit(tinySpec("baseline"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m, j.ID, StateCompleted, 30*time.Second)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+j.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	defer del.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(del.Body)
+	if del.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE terminal job status %d, want 409 (body %s)", del.StatusCode, buf.Bytes())
+	}
+	if code := decodeErr(t, buf.Bytes()); code != "already_terminal" {
+		t.Errorf("error code %q, want already_terminal", code)
+	}
+}
+
+func TestAPIHaltAndMetrics(t *testing.T) {
+	m, srv := testAPI(t, Config{})
+	j, err := m.Submit(tinySpec("baseline"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := waitState(t, m, j.ID, StateCompleted, 30*time.Second)
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/metrics", srv.URL, j.ID))
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var jm JobMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&jm); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if jm.State != StateCompleted || jm.FinalAcc != done.FinalAcc {
+		t.Errorf("metrics %+v, want completed with acc %g", jm, done.FinalAcc)
+	}
+	if len(jm.Workers) != 2 {
+		t.Errorf("metrics reports %d workers, want 2", len(jm.Workers))
+	}
+	for _, rep := range jm.Workers {
+		if rep.Job != j.ID {
+			t.Errorf("worker %d report labelled %q, want %q", rep.ID, rep.Job, j.ID)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dlion/internal/obs"
+	"dlion/internal/queue"
+)
+
+// TestE2EConcurrentJobs is the control plane's acceptance test: one broker,
+// two concurrent jobs with different sync strategies submitted over the
+// REST API, both trained to completion on per-job isolated channels; the
+// job monitor returns final accuracy and folded obs reports for each; a
+// third job over the tenant quota is rejected with the structured 429; and
+// the JSON-file store survives a controller restart. Run it under -race
+// (make e2e-jobs).
+func TestE2EConcurrentJobs(t *testing.T) {
+	broker := queue.NewBroker()
+	defer broker.Close()
+
+	storePath := filepath.Join(t.TempDir(), "jobs.json")
+	store, err := NewStore(storePath)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	reg := obs.NewRegistry()
+	m, err := NewManager(Config{
+		Broker:        broker,
+		Store:         store,
+		Metrics:       reg,
+		MaxConcurrent: 2, // both jobs train at once, sharing the broker
+		TenantQuota:   2,
+		Poll:          10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewAPI(m))
+	defer srv.Close()
+
+	submit := func(spec Spec) (*http.Response, []byte) {
+		t.Helper()
+		raw, _ := json.Marshal(spec)
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// Two jobs, different sync strategies, one broker: baseline trains with
+	// the full synchronous barrier, ako asynchronously.
+	specs := []Spec{
+		{System: "baseline", Workers: 2, MaxIters: 5, Scale: 0.001, LBS: 4},
+		{System: "ako", Workers: 2, MaxIters: 5, Scale: 0.001, LBS: 4},
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		resp, raw := submit(spec)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %s: status %d body %s", spec.System, resp.StatusCode, raw)
+		}
+		var j Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		ids[i] = j.ID
+	}
+
+	// Third job over the tenant quota (2 active): structured 429.
+	resp, raw := submit(Spec{System: "baseline", Workers: 2, MaxIters: 5, Scale: 0.001})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429 (body %s)", resp.StatusCode, raw)
+	}
+	var e apiError
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error.Code != "quota_exceeded" {
+		t.Fatalf("over-quota body %s, want structured quota_exceeded", raw)
+	}
+
+	// Both jobs complete.
+	for i, id := range ids {
+		done := waitState(t, m, id, StateCompleted, 60*time.Second)
+		if done.FinalAcc <= 0 {
+			t.Errorf("job %s (%s) final accuracy %g, want > 0", id, specs[i].System, done.FinalAcc)
+		}
+		for w, it := range done.Iters {
+			if it < specs[i].MaxIters {
+				t.Errorf("job %s worker %d at iter %d, want >= %d", id, w, it, specs[i].MaxIters)
+			}
+		}
+	}
+
+	// The monitor's metrics endpoint serves per-job folded reports, each
+	// labelled with its own job id — proof the concurrent groups' obs
+	// streams never mixed.
+	for _, id := range ids {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/metrics")
+		if err != nil {
+			t.Fatalf("GET metrics: %v", err)
+		}
+		var jm JobMetrics
+		err = json.NewDecoder(resp.Body).Decode(&jm)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode metrics: %v", err)
+		}
+		if jm.FinalAcc <= 0 {
+			t.Errorf("job %s metrics accuracy %g, want > 0", id, jm.FinalAcc)
+		}
+		if len(jm.Workers) != 2 {
+			t.Fatalf("job %s metrics: %d reports, want 2", id, len(jm.Workers))
+		}
+		for _, rep := range jm.Workers {
+			if rep.Job != id {
+				t.Errorf("job %s report labelled %q — cross-job folding", id, rep.Job)
+			}
+			if rep.SentMsgs["gradient"] == 0 {
+				t.Errorf("job %s worker %d sent no gradients", id, rep.ID)
+			}
+		}
+	}
+
+	// jobs.* metrics reflect the run.
+	snap := reg.Snapshot()
+	if snap["jobs.submitted"] != 2 || snap["jobs.completed"] != 2 || snap["jobs.rejected"] != 1 {
+		t.Errorf("jobs.* counters %v, want 2 submitted, 2 completed, 1 rejected",
+			map[string]int64{"submitted": snap["jobs.submitted"],
+				"completed": snap["jobs.completed"], "rejected": snap["jobs.rejected"]})
+	}
+
+	// Store file survives a "controller restart": a fresh store over the
+	// same path still serves both completed records.
+	reopened, err := NewStore(storePath)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	for _, id := range ids {
+		j, err := reopened.Get(id)
+		if err != nil {
+			t.Fatalf("reopened Get(%s): %v", id, err)
+		}
+		if j.State != StateCompleted || j.FinalAcc <= 0 {
+			t.Errorf("reloaded job %s: %s acc %g, want completed with accuracy", id, j.State, j.FinalAcc)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store is the job monitor's record keeper: an in-memory map of job records
+// with optional JSON-file persistence, so a restarted controller still
+// answers GET /v1/jobs for finished runs. Every read hands out deep copies;
+// every write re-persists the whole set (job records are small — specs,
+// counters, and folded reports, never checkpoints).
+type Store struct {
+	mu   sync.Mutex
+	path string // "" = memory only
+	jobs map[string]*Job
+	seq  int
+}
+
+// storeFile is the on-disk schema.
+type storeFile struct {
+	Schema string `json:"schema"`
+	Seq    int    `json:"seq"`
+	Jobs   []*Job `json:"jobs"`
+}
+
+// storeSchema tags the persisted file; bump on incompatible change.
+const storeSchema = "dlion.jobs.v1"
+
+// NewStore opens (or creates) a store. With path == "" the store is
+// memory-only. An existing file is loaded; jobs recorded as non-terminal by
+// a previous controller are marked failed — their worker groups died with
+// that process, and resurrecting them silently would misreport state.
+func NewStore(path string) (*Store, error) {
+	s := &Store{path: path, jobs: map[string]*Job{}}
+	if path == "" {
+		return s, nil
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f storeFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("jobs: store %s: %w", path, err)
+	}
+	if f.Schema != storeSchema {
+		return nil, fmt.Errorf("jobs: store %s: schema %q, want %q", path, f.Schema, storeSchema)
+	}
+	s.seq = f.Seq
+	for _, j := range f.Jobs {
+		if !j.State.Terminal() {
+			j.State = StateFailed
+			j.Error = "controller restarted while job was active"
+		}
+		s.jobs[j.ID] = j
+	}
+	return s, nil
+}
+
+// NextID allocates the next job id ("job-<n>").
+func (s *Store) NextID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return fmt.Sprintf("job-%d", s.seq)
+}
+
+// Put inserts or replaces a record (a deep copy of j) and persists.
+func (s *Store) Put(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j.clone()
+	return s.persistLocked()
+}
+
+// Get returns a copy of the record, or ErrNotFound.
+func (s *Store) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j.clone(), nil
+}
+
+// List returns copies of every record, newest submission first (ids are
+// sequential, so reverse id order is reverse submission order).
+func (s *Store) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.clone())
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].ID) != len(out[b].ID) {
+			return len(out[a].ID) > len(out[b].ID)
+		}
+		return out[a].ID > out[b].ID
+	})
+	return out
+}
+
+// ActiveByTenant counts non-terminal jobs per tenant — the quota input.
+func (s *Store) ActiveByTenant(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.Spec.Tenant == tenant && !j.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// persistLocked writes the whole store atomically (tmp + rename) when a
+// path is configured. Called with s.mu held.
+func (s *Store) persistLocked() error {
+	if s.path == "" {
+		return nil
+	}
+	f := storeFile{Schema: storeSchema, Seq: s.seq, Jobs: make([]*Job, 0, len(s.jobs))}
+	for _, j := range s.jobs {
+		f.Jobs = append(f.Jobs, j)
+	}
+	sort.Slice(f.Jobs, func(a, b int) bool { return f.Jobs[a].ID < f.Jobs[b].ID })
+	raw, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(s.path), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}

@@ -64,6 +64,11 @@ type WorkerReport struct {
 	ID    int   `json:"id"`
 	Iters int64 `json:"iters,omitempty"`
 
+	// Job labels the control-plane training job this worker served (empty
+	// for hand-launched runs), so one broker's concurrent jobs can be told
+	// apart when their reports are folded into a single store.
+	Job string `json:"job,omitempty"`
+
 	// Phases maps phase name → accumulated seconds (virtual in sim, wall
 	// in real mode).
 	Phases map[string]float64 `json:"phases"`

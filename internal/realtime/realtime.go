@@ -17,6 +17,7 @@ import (
 	"dlion/internal/data"
 	"dlion/internal/nn"
 	"dlion/internal/obs"
+	"dlion/internal/queue"
 	"dlion/internal/wire"
 )
 
@@ -31,8 +32,11 @@ type Transport interface {
 	Close() error
 }
 
-// DataKey returns the broker list key carrying worker id's inbound data.
-func DataKey(id int) string { return fmt.Sprintf("dlion:data:%d", id) }
+// DataKey returns the broker list key carrying worker id's inbound data in
+// the root (single-job) namespace. Control-plane jobs use per-job
+// namespaced keys instead (queue.JobNamespace + the *NS transport
+// constructors).
+func DataKey(id int) string { return queue.Namespace("").DataKey(id) }
 
 // Config assembles one real-mode node.
 type Config struct {

@@ -22,24 +22,33 @@ type Publisher interface {
 type BrokerTransport struct {
 	b      *queue.Broker
 	id     int
+	ns     queue.Namespace
 	ctx    context.Context
 	cancel context.CancelFunc
 }
 
-// NewBrokerTransport builds a transport for worker id over broker b.
+// NewBrokerTransport builds a transport for worker id over broker b in the
+// root namespace (the historical single-job key layout).
 func NewBrokerTransport(b *queue.Broker, id int) *BrokerTransport {
+	return NewBrokerTransportNS(b, id, "")
+}
+
+// NewBrokerTransportNS builds a transport whose data keys live inside ns,
+// so several worker groups — one per control-plane job — can share one
+// broker without cross-delivery.
+func NewBrokerTransportNS(b *queue.Broker, id int, ns queue.Namespace) *BrokerTransport {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &BrokerTransport{b: b, id: id, ctx: ctx, cancel: cancel}
+	return &BrokerTransport{b: b, id: id, ns: ns, ctx: ctx, cancel: cancel}
 }
 
 // Send implements Transport.
 func (t *BrokerTransport) Send(to int, payload []byte) error {
-	return t.b.LPush(DataKey(to), payload)
+	return t.b.LPush(t.ns.DataKey(to), payload)
 }
 
 // Recv implements Transport.
 func (t *BrokerTransport) Recv() ([]byte, error) {
-	return t.b.BRPop(t.ctx, DataKey(t.id))
+	return t.b.BRPop(t.ctx, t.ns.DataKey(t.id))
 }
 
 // Publish broadcasts payload on one of the broker's PUB/SUB channels
@@ -71,17 +80,27 @@ type ClientTransport struct {
 	send *queue.ReconnectingClient
 	recv *queue.ReconnectingClient
 	id   int
+	ns   queue.Namespace
 }
 
 // NewClientTransport builds a transport for worker id against the broker
-// at addr. The connections are established lazily, so the broker may come
-// up after the worker. The error return is kept for call-site
-// compatibility and future eager-dial policies; it is currently always nil.
+// at addr, in the root namespace. The connections are established lazily,
+// so the broker may come up after the worker. The error return is kept for
+// call-site compatibility and future eager-dial policies; it is currently
+// always nil.
 func NewClientTransport(addr string, id int) (*ClientTransport, error) {
+	return NewClientTransportNS(addr, id, "")
+}
+
+// NewClientTransportNS builds a TCP transport whose data keys live inside
+// ns — how an external dlion-worker process attaches to one control-plane
+// job's channels on a shared broker (the -job flag).
+func NewClientTransportNS(addr string, id int, ns queue.Namespace) (*ClientTransport, error) {
 	return &ClientTransport{
 		send: queue.DialReconnecting(addr, queue.ReconnectConfig{}),
 		recv: queue.DialReconnecting(addr, queue.ReconnectConfig{}),
 		id:   id,
+		ns:   ns,
 	}, nil
 }
 
@@ -94,7 +113,7 @@ func (t *ClientTransport) SetMetrics(reg *obs.Registry) {
 
 // Send implements Transport.
 func (t *ClientTransport) Send(to int, payload []byte) error {
-	return t.send.LPush(DataKey(to), payload)
+	return t.send.LPush(t.ns.DataKey(to), payload)
 }
 
 // Publish broadcasts payload on one of the broker's PUB/SUB channels,
@@ -108,7 +127,7 @@ func (t *ClientTransport) Publish(channel string, payload []byte) error {
 // an error only once the transport itself is closed.
 func (t *ClientTransport) Recv() ([]byte, error) {
 	for {
-		p, err := t.recv.BRPop(DataKey(t.id), 0)
+		p, err := t.recv.BRPop(t.ns.DataKey(t.id), 0)
 		if errors.Is(err, queue.ErrTimeout) {
 			continue
 		}

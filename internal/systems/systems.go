@@ -158,6 +158,36 @@ func WithQuant(c core.Config, mode string) (core.Config, error) {
 	return c, nil
 }
 
+// ForJob resolves a control-plane job's (system, quant) pair into a worker
+// config scoped to that job: the preset is looked up by name, the wire
+// precision applied, the iteration budget pinned to maxIters, and the
+// config labelled with the job id (Config.Job, plus a "@<job>" suffix on
+// the name so logs and reports from concurrent jobs stay attributable).
+// DKT's sharing period is clamped to maxIters/2 — the presets assume the
+// paper's multi-thousand-iteration runs, and an unclamped period would
+// silently disable DKT on short jobs.
+func ForJob(system, quant, job string, maxIters int64) (core.Config, error) {
+	c, err := ByName(system)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c, err = WithQuant(c, quant); err != nil {
+		return core.Config{}, err
+	}
+	c.MaxIters = maxIters
+	if c.DKT.Enabled && maxIters > 0 && c.DKT.Period > maxIters/2 {
+		c.DKT.Period = maxIters / 2
+		if c.DKT.Period < 1 {
+			c.DKT.Period = 1
+		}
+	}
+	if job != "" {
+		c.Job = job
+		c.Name += "@" + job
+	}
+	return c, nil
+}
+
 // MaxNOnly runs the Max N selector with a fixed N and nothing else from
 // DLion — no dynamic batching, no link budget, no DKT (the Figure 16
 // "Max10" configuration when n=10).
