@@ -251,7 +251,10 @@ func (m *Manager) JobMetrics(id string) (*JobMetrics, error) {
 	m.mu.Unlock()
 	if r != nil {
 		// Live: snapshot the (atomic, concurrency-safe) per-worker sinks.
-		jm.Workers = r.snapshotReports()
+		// A still-deploying run snapshots as nil — keep the store's reports.
+		if reps := r.snapshotReports(); reps != nil {
+			jm.Workers = reps
+		}
 	}
 	return jm, nil
 }
@@ -285,17 +288,12 @@ func (m *Manager) scheduler() {
 			case <-m.ctx.Done():
 				return
 			}
-			j, err := m.store.Get(id)
-			if err != nil || j.State != StateQueued {
-				<-sem // halted (or vanished) while queued
-				continue
-			}
 			m.wg.Add(1)
-			go func(j *Job) {
+			go func() {
 				defer m.wg.Done()
 				defer func() { <-sem }()
-				m.runJob(j)
-			}(j)
+				m.runJob(id)
+			}()
 		}
 	}
 }
@@ -339,18 +337,25 @@ type slot struct {
 }
 
 // runJob drives one job from deploying to a terminal state.
-func (m *Manager) runJob(j *Job) {
+func (m *Manager) runJob(id string) {
+	// CAS queued→registered under m.mu: Halt serializes on the same lock,
+	// so a job halted between being popped off the queue and reaching here
+	// is observed terminal and never starts (no lost-halt window).
+	m.mu.Lock()
+	j, err := m.store.Get(id)
+	if err != nil || j.State != StateQueued {
+		m.mu.Unlock()
+		return // halted (or vanished) while queued
+	}
 	ctx, cancel := context.WithCancel(m.ctx)
 	r := &run{m: m, job: j, ctx: ctx, cancel: cancel, start: time.Now()}
-	defer cancel()
-
-	m.mu.Lock()
-	m.runs[j.ID] = r
+	m.runs[id] = r
 	m.gActive.Set(int64(len(m.runs)))
 	m.mu.Unlock()
+	defer cancel()
 	defer func() {
 		m.mu.Lock()
-		delete(m.runs, j.ID)
+		delete(m.runs, id)
 		m.gActive.Set(int64(len(m.runs)))
 		m.mu.Unlock()
 		m.hDuration.Observe(time.Since(r.start).Seconds())
@@ -441,19 +446,36 @@ func (r *run) deploy() error {
 	r.test = test
 	r.mspec = nn.CipherSpec(dc.Channels, dc.Height, dc.Width, dc.NumClasses, spec.Seed+1000)
 
-	r.slots = make([]*slot, spec.Workers)
-	r.sinks = make([]*obs.WorkerObs, spec.Workers)
+	sinks := make([]*obs.WorkerObs, spec.Workers)
+	for i := range sinks {
+		sinks[i] = obs.NewWorkerObs()
+	}
+	r.mu.Lock()
+	r.sinks = sinks
+	r.mu.Unlock()
+
+	// Build the group into a local slice: r.slots is published (under r.mu)
+	// only once every worker exists, so concurrent readers — JobMetrics,
+	// CrashWorker — never observe a half-built group, and a failed deploy
+	// closes the transports it already opened instead of leaking broker
+	// subscriptions.
+	slots := make([]*slot, spec.Workers)
 	for i := 0; i < spec.Workers; i++ {
-		r.sinks[i] = obs.NewWorkerObs()
-		s := &slot{}
 		node, tr, err := r.buildNode(i, nil)
 		if err != nil {
+			for _, s := range slots[:i] {
+				s.cancel()
+				s.tr.Close()
+			}
 			return err
 		}
-		s.node, s.tr = node, tr
+		s := &slot{node: node, tr: tr}
 		s.wctx, s.cancel = context.WithCancel(r.ctx)
-		r.slots[i] = s
+		slots[i] = s
 	}
+	r.mu.Lock()
+	r.slots = slots
+	r.mu.Unlock()
 	return nil
 }
 
@@ -536,10 +558,16 @@ func (r *run) workerLoop(i int) {
 
 // crashWorker cancels one slot's current incarnation (the chaos hook).
 func (r *run) crashWorker(i int) error {
-	if i < 0 || i >= len(r.slots) {
-		return fmt.Errorf("jobs: worker %d outside [0,%d)", i, len(r.slots))
+	r.mu.Lock()
+	slots := r.slots
+	r.mu.Unlock()
+	if slots == nil {
+		return fmt.Errorf("jobs: job %s still deploying", r.job.ID)
 	}
-	s := r.slots[i]
+	if i < 0 || i >= len(slots) {
+		return fmt.Errorf("jobs: worker %d outside [0,%d)", i, len(slots))
+	}
+	s := slots[i]
 	s.mu.Lock()
 	cancel := s.cancel
 	s.mu.Unlock()
@@ -606,15 +634,24 @@ func (r *run) supervise() {
 	}
 }
 
-// snapshotReports folds the per-worker sinks into job-labelled reports.
+// snapshotReports folds the per-worker sinks into job-labelled reports. It
+// returns nil until deploy has published the full worker group — callers
+// fall back to the store-recorded reports for a still-deploying job.
 func (r *run) snapshotReports() []obs.WorkerReport {
-	out := make([]obs.WorkerReport, len(r.sinks))
-	for i, o := range r.sinks {
+	r.mu.Lock()
+	slots, sinks := r.slots, r.sinks
+	jobID := r.job.ID
+	r.mu.Unlock()
+	if slots == nil || len(sinks) != len(slots) {
+		return nil
+	}
+	out := make([]obs.WorkerReport, len(sinks))
+	for i, o := range sinks {
 		rep := o.Snapshot(i)
-		rep.Job = r.job.ID
-		r.slots[i].mu.Lock()
-		rep.Iters = r.slots[i].iters
-		r.slots[i].mu.Unlock()
+		rep.Job = jobID
+		slots[i].mu.Lock()
+		rep.Iters = slots[i].iters
+		slots[i].mu.Unlock()
 		out[i] = rep
 	}
 	return out
@@ -627,8 +664,7 @@ func (r *run) finish() {
 	halted, failErr, done := r.halted, r.failErr, r.done
 	r.mu.Unlock()
 
-	if r.sinks != nil {
-		reps := r.snapshotReports()
+	if reps := r.snapshotReports(); reps != nil {
 		r.mu.Lock()
 		r.job.Workers = reps
 		r.mu.Unlock()

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -357,5 +358,108 @@ func TestJobsMetricsCounters(t *testing.T) {
 	}
 	if snap["jobs.completed"] != 1 {
 		t.Errorf("jobs.completed = %d, want 1", snap["jobs.completed"])
+	}
+}
+
+// TestMonitorDuringDeploy hammers the job monitor and the chaos hook through
+// the queued/deploying window: neither may panic or race (under -race) while
+// the worker group is still half-built, and the job must still complete.
+func TestMonitorDuringDeploy(t *testing.T) {
+	m := testManager(t, Config{MaxRestarts: 100})
+	j, err := m.Submit(tinySpec("baseline"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for {
+		cur, err := m.Get(j.ID)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if cur.State != StateQueued && cur.State != StateDeploying {
+			break
+		}
+		jm, err := m.JobMetrics(j.ID)
+		if err != nil {
+			t.Fatalf("JobMetrics while %s: %v", cur.State, err)
+		}
+		for _, rep := range jm.Workers {
+			if rep.Job != j.ID {
+				t.Fatalf("report labelled %q, want %q", rep.Job, j.ID)
+			}
+		}
+		// Rejected while no fully-deployed group exists; crashes that land
+		// just after training starts are absorbed by the big restart budget.
+		m.CrashWorker(j.ID, 0)
+	}
+	waitState(t, m, j.ID, StateCompleted, 30*time.Second)
+}
+
+// TestHaltImmediatelyAfterSubmit races Halt against the scheduler picking
+// the job up: whichever side wins, the job must end halted — never trained
+// to completion after Halt reported success.
+func TestHaltImmediatelyAfterSubmit(t *testing.T) {
+	m := testManager(t, Config{MaxConcurrent: 1})
+	for i := 0; i < 5; i++ {
+		j, err := m.Submit(tinySpec("baseline"))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if _, err := m.Halt(j.ID); err != nil {
+			t.Fatalf("Halt: %v", err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			cur, err := m.Get(j.ID)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if cur.State.Terminal() {
+				if cur.State != StateHalted {
+					t.Fatalf("halted job ended %s (error %q), want halted",
+						cur.State, cur.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never reached a terminal state", j.ID)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestStorePutAtomicOnPersistError verifies a failed persist rolls the
+// in-memory map back: the record neither appears in Get nor counts against
+// the tenant quota.
+func TestStorePutAtomicOnPersistError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	st, err := NewStore(path)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	// A directory squatting on the store path makes the tmp+rename persist
+	// fail even when running as root (rename onto a directory is EISDIR).
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	j := &Job{ID: "job-1", State: StateQueued, Spec: tinySpec("baseline")}
+	if err := st.Put(j); err == nil {
+		t.Fatal("Put succeeded, want persist error")
+	}
+	if _, err := st.Get("job-1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after failed Put: %v, want ErrNotFound", err)
+	}
+	if n := st.ActiveByTenant(j.Spec.Tenant); n != 0 {
+		t.Fatalf("failed insert counts %d active jobs against the tenant", n)
+	}
+	// With the blocker gone the same Put lands normally.
+	if err := os.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := st.Put(j); err != nil {
+		t.Fatalf("Put after unblocking: %v", err)
+	}
+	if _, err := st.Get("job-1"); err != nil {
+		t.Fatalf("Get: %v", err)
 	}
 }

@@ -73,12 +73,24 @@ func (s *Store) NextID() string {
 	return fmt.Sprintf("job-%d", s.seq)
 }
 
-// Put inserts or replaces a record (a deep copy of j) and persists.
+// Put inserts or replaces a record (a deep copy of j) and persists. The
+// update is atomic: if persistence fails the in-memory map keeps its prior
+// contents, so a failed insert does not leave a phantom record counting
+// against tenant quotas.
 func (s *Store) Put(j *Job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	prev, had := s.jobs[j.ID]
 	s.jobs[j.ID] = j.clone()
-	return s.persistLocked()
+	if err := s.persistLocked(); err != nil {
+		if had {
+			s.jobs[j.ID] = prev
+		} else {
+			delete(s.jobs, j.ID)
+		}
+		return err
+	}
+	return nil
 }
 
 // Get returns a copy of the record, or ErrNotFound.
