@@ -3,7 +3,7 @@
 # reconnecting client, real-mode runtime, serving) plus the nn
 # checkpoint-vs-Forward concurrency tests; running it repo-wide would
 # multiply simulation test time ~20x for no extra coverage.
-.PHONY: check build vet test race fuzz-smoke conformance bench bench-serve bench-sim chaos e2e-jobs
+.PHONY: check build vet test race fuzz-smoke conformance bench bench-serve bench-sim chaos e2e-jobs audit-gate
 
 check: build vet test race fuzz-smoke
 
@@ -20,12 +20,14 @@ race:
 	go test -race ./internal/queue/... ./internal/realtime/... ./internal/serve/... ./internal/jobs/...
 	go test -race -run 'Concurrent' ./internal/nn/... ./internal/obs/...
 
-# Short fuzz pass over the wire decoder and framer: catches panics and
-# canonicalization regressions without the cost of a long campaign. The
-# committed corpus under internal/wire/testdata/fuzz seeds both targets.
+# Short fuzz pass over the wire decoder, framer, and lineage-manifest
+# codecs: catches panics and canonicalization regressions without the cost
+# of a long campaign. The committed corpus under internal/wire/testdata/fuzz
+# seeds all three targets.
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire
+	go test -run='^$$' -fuzz=FuzzManifestDecode -fuzztime=10s ./internal/wire
 
 # Conformance harness (see TESTING.md): gradcheck on every nn layer,
 # sim<->realtime weight equivalence, and the golden convergence gates, all
@@ -62,6 +64,15 @@ bench-sim:
 # the REST API, quota rejection, and store persistence — under -race.
 e2e-jobs:
 	go test -race -count=1 -run 'TestE2E' ./internal/jobs
+
+# Checkpoint-lineage audit gate (see TESTING.md): a seeded two-worker
+# ordered-apply training segment is checkpointed with a chained manifest,
+# replayed on both substrates by dlion-audit, and the published digest must
+# match bit-exactly — and the built-in forgeries (one mutated weight value,
+# one flipped parent-digest bit) must both be reported as verification
+# failures. Exits nonzero on any divergence.
+audit-gate:
+	go run ./cmd/dlion-audit -self-test
 
 # Churn soak for the scheduled CI job: the sim churn scenarios and the
 # membership protocol tests, repeated under the race detector. -count=3

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dlion/internal/data"
+	"dlion/internal/lineage"
 	"dlion/internal/nn"
 	"dlion/internal/obs"
 	"dlion/internal/realtime"
@@ -133,22 +134,34 @@ func main() {
 
 	// With -serve-publish set, the worker periodically snapshots its model
 	// on the event loop and broadcasts it on the serving weights channel;
-	// any dlion-serve subscribed to the same broker hot-swaps to it.
+	// any dlion-serve subscribed to the same broker hot-swaps to it. Each
+	// broadcast carries a lineage manifest chained to this process's prior
+	// snapshot, so the serving tier's /modelz chain records real provenance.
 	if *servePub > 0 {
 		go func() {
 			tick := time.NewTicker(*servePub)
 			defer tick.Stop()
+			var parent *lineage.Manifest
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					iter, ckpt, err := node.Checkpoint(ctx)
+					iter, ckpt, man, err := node.CheckpointManifest(ctx, parent)
 					if err != nil || iter == 0 {
 						continue // stopping, or nothing trained yet
 					}
-					if err := tr.Publish(serve.WeightsChannel, serve.EncodeUpdate(iter, ckpt)); err != nil {
+					frame, err := serve.EncodeUpdateManifest(iter, man, ckpt)
+					if err != nil {
 						fmt.Fprintln(os.Stderr, "dlion-worker: serve publish:", err)
+						continue
+					}
+					if err := tr.Publish(serve.WeightsChannel, frame); err != nil {
+						fmt.Fprintln(os.Stderr, "dlion-worker: serve publish:", err)
+						continue
+					}
+					if parent == nil || man.Iter > parent.Iter {
+						parent = man
 					}
 				}
 			}

@@ -189,6 +189,18 @@ type Config struct {
 	// healthy peer can have (a few iteration times plus network delay).
 	LivenessTimeout float64
 
+	// OrderedApply is the deterministic-replay discipline behind signed
+	// checkpoint lineage (DESIGN.md §13): instead of applying peers'
+	// gradients the moment they arrive, the worker buffers them and applies
+	// each round at its synchronization barrier, in (iteration, worker-id)
+	// order. Float32 apply order is the only thing the two substrates (DES
+	// simulator vs realtime broker) disagree on under SyncFull with fixed
+	// batching, so pinning it makes the final weight bits a pure function
+	// of (config, seed, steps) — bit-exactly reproducible by dlion-audit on
+	// either substrate. It requires the deterministic-math subset: SyncFull,
+	// no DKT, no dynamic batching, static membership, no liveness routing.
+	OrderedApply bool
+
 	// MaxIters, when > 0, stops the worker after it completes that many
 	// iterations: no further batches are drawn and no further gradients are
 	// generated, while incoming messages keep being applied (peers finishing
@@ -245,7 +257,38 @@ func (c *Config) Validate() error {
 	case c.Quant.Accept > grad.MaskAll:
 		return fmt.Errorf("core: %s: quant accept mask %#x", c.Name, uint8(c.Quant.Accept))
 	}
+	if c.OrderedApply {
+		switch {
+		case c.Sync.Mode != SyncFull:
+			return fmt.Errorf("core: %s: OrderedApply requires SyncFull", c.Name)
+		case c.DKT.Enabled:
+			return fmt.Errorf("core: %s: OrderedApply excludes DKT (weight merges are unordered)", c.Name)
+		case c.Batch.DynamicBatching:
+			return fmt.Errorf("core: %s: OrderedApply excludes dynamic batching (RCP timing is wall-clock)", c.Name)
+		case c.LivenessTimeout > 0:
+			return fmt.Errorf("core: %s: OrderedApply excludes liveness routing (the live set is timing-dependent)", c.Name)
+		case c.Membership.Join || c.Membership.LeaveAfterIters > 0 || c.Membership.QuorumFloor > 0:
+			return fmt.Errorf("core: %s: OrderedApply requires a static roster", c.Name)
+		}
+	}
 	return nil
+}
+
+// Fingerprint returns a canonical one-line summary of every field that
+// determines the training computation — the string lineage manifests hash
+// into their config commitment. Two configs with equal fingerprints run the
+// same math on the same schedule (given equal seeds and worker counts);
+// presentation-only fields (Job, EvalSubset) are deliberately excluded.
+func (c Config) Fingerprint() string {
+	c = c.withDefaults()
+	return fmt.Sprintf(
+		"name=%s lr=%g sync=%s/%d/%d lbs=%d dyn=%t wu=%t gbs=%s dkt=%t/%d/%g "+
+			"budget=%t live=%g maxiters=%d quant=%s/auto=%t ordered=%t",
+		c.Name, c.LearningRate, c.Sync.Mode, c.Sync.BackupWorkers, c.Sync.Staleness,
+		c.Batch.InitialLBS, c.Batch.DynamicBatching, c.Batch.WeightedUpdate,
+		c.Batch.GBS.Mode, c.DKT.Enabled, c.DKT.Period, c.DKT.Lambda,
+		c.LinkBudget, c.LivenessTimeout, c.MaxIters,
+		c.Quant.Precision, c.Quant.Auto, c.OrderedApply)
 }
 
 // withDefaults fills zero values with the defaults documented above.

@@ -97,6 +97,13 @@ type Worker struct {
 	waitingSync bool
 	started     bool
 
+	// Ordered-apply discipline (cfg.OrderedApply): peer gradients are held in
+	// pendGrad[round][peer] and applied only when their round completes
+	// locally, in peer-id order. orderedFlushed is the last round whose peer
+	// gradients have all been applied.
+	pendGrad       map[int64]map[int]*wire.Message
+	orderedFlushed int64
+
 	// Crash/restart lifecycle. A stopped worker ignores messages and its
 	// pending timers; gen invalidates timers armed before the last Stop so
 	// a resumed worker does not double-run its loops.
@@ -158,6 +165,7 @@ func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Work
 		lastBudget:   map[int]int{},
 		peerQuant:    map[int]grad.PrecMask{},
 		lastPrec:     map[int]grad.Precision{},
+		pendGrad:     map[int64]map[int]*wire.Message{},
 		trainSize:    trainSize,
 		deadSeen:     map[int]bool{},
 	}
@@ -486,6 +494,12 @@ func (w *Worker) completeIteration() {
 	}
 
 	w.exchangeGradients()
+	if w.cfg.OrderedApply {
+		// The round this worker just completed may already have every peer's
+		// gradient buffered; apply them now, before sync evaluation, so the
+		// next iteration's backward pass sees them.
+		w.flushOrdered()
+	}
 	if la := w.cfg.Membership.LeaveAfterIters; la > 0 && w.iter >= la {
 		// Deterministic graceful departure: the final gradients above drain
 		// ahead of the tombstones on the same FIFO links.
@@ -606,7 +620,12 @@ func (w *Worker) HandleMessage(m *wire.Message) {
 		if m.Iter > w.peerIter[from] {
 			w.peerIter[from] = m.Iter
 		}
-		w.timedApply(func() { w.applyRemoteGradient(m) })
+		if w.cfg.OrderedApply {
+			w.bufferOrdered(m)
+			w.flushOrdered()
+		} else {
+			w.timedApply(func() { w.applyRemoteGradient(m) })
+		}
 		if w.waitingSync && w.canProceed() {
 			w.unblockSync()
 			w.startIteration()
@@ -638,6 +657,51 @@ func (w *Worker) HandleMessage(m *wire.Message) {
 				w.stats.DKTMerges++
 			}
 		})
+	}
+}
+
+// bufferOrdered stores a peer gradient for ordered application. Duplicates
+// of already-flushed rounds (a FIFO link never produces them, but the codec
+// does not forbid them) are dropped rather than double-applied.
+func (w *Worker) bufferOrdered(m *wire.Message) {
+	r := m.Iter
+	if r <= w.orderedFlushed {
+		return
+	}
+	byPeer := w.pendGrad[r]
+	if byPeer == nil {
+		byPeer = map[int]*wire.Message{}
+		w.pendGrad[r] = byPeer
+	}
+	byPeer[int(m.From)] = m
+}
+
+// flushOrdered applies every completed round of buffered peer gradients in
+// ascending (round, peer-id) order. A round is complete once this worker has
+// finished its own iteration for it (w.iter >= round — the local update for
+// round r lands in completeIteration, before peers' r-gradients) and every
+// roster peer's gradient has arrived. This makes the total float32 apply
+// order — own r, peers' r in id order, own r+1, ... — identical on the
+// simulator and the realtime broker, which is what the lineage audit's
+// bit-exact replay relies on.
+func (w *Worker) flushOrdered() {
+	peers := w.peers()
+	for r := w.orderedFlushed + 1; r <= w.iter; r++ {
+		byPeer := w.pendGrad[r]
+		if len(byPeer) < len(peers) {
+			return
+		}
+		for _, p := range peers {
+			if byPeer[p] == nil {
+				return
+			}
+		}
+		for _, p := range peers {
+			m := byPeer[p]
+			w.timedApply(func() { w.applyRemoteGradient(m) })
+		}
+		delete(w.pendGrad, r)
+		w.orderedFlushed = r
 	}
 }
 

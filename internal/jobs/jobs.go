@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dlion/internal/lineage"
 	"dlion/internal/obs"
 	"dlion/internal/queue"
 	"dlion/internal/systems"
@@ -148,6 +149,12 @@ type Job struct {
 	// Restarts counts checkpoint-restore worker restarts across the group.
 	Restarts int `json:"restarts,omitempty"`
 
+	// Lineage is each worker's latest checkpoint manifest, chained per
+	// worker across supervisor captures — the store-persisted provenance
+	// trail (which weights each worker last reached, and what history
+	// produced them). Entries are nil until the first capture.
+	Lineage []*lineage.Manifest `json:"lineage,omitempty"`
+
 	// FinalAcc/FinalLoss are the completed model's test-set evaluation.
 	FinalAcc  float64 `json:"final_acc,omitempty"`
 	FinalLoss float64 `json:"final_loss,omitempty"`
@@ -161,6 +168,9 @@ type Job struct {
 func (j *Job) clone() *Job {
 	c := *j
 	c.Iters = append([]int64(nil), j.Iters...)
+	// Manifests are immutable once captured, so sharing the pointers is safe;
+	// only the slice header needs copying.
+	c.Lineage = append([]*lineage.Manifest(nil), j.Lineage...)
 	c.Workers = append([]obs.WorkerReport(nil), j.Workers...)
 	return &c
 }

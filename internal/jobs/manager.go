@@ -8,6 +8,7 @@ import (
 
 	"dlion/internal/core"
 	"dlion/internal/data"
+	"dlion/internal/lineage"
 	"dlion/internal/nn"
 	"dlion/internal/obs"
 	"dlion/internal/queue"
@@ -333,6 +334,7 @@ type slot struct {
 	wctx   context.Context    // the current incarnation's Run context
 	cancel context.CancelFunc // cancels the current incarnation's Run
 	ckpt   []byte             // latest captured checkpoint
+	man    *lineage.Manifest  // latest captured lineage manifest (chains across captures)
 	iters  int64              // latest observed iteration count
 }
 
@@ -595,15 +597,10 @@ func (r *run) supervise() {
 			iters := make([]int64, len(r.slots))
 			for i, s := range r.slots {
 				s.mu.Lock()
-				node := s.node
+				node, parent := s.node, s.man
 				s.mu.Unlock()
-				var it int64
-				var ck []byte
 				ictx, cancel := context.WithTimeout(r.ctx, time.Second)
-				err := node.Inspect(ictx, func(w *core.Worker) {
-					it = w.Iter()
-					ck = w.Model().Checkpoint()
-				})
+				it, ck, man, err := node.CheckpointManifest(ictx, parent)
 				cancel()
 				if err != nil {
 					all = false // mid-restart; count as in progress
@@ -614,6 +611,12 @@ func (r *run) supervise() {
 				}
 				s.mu.Lock()
 				s.iters, s.ckpt = it, ck
+				// Adopt the manifest only when training advanced: a same-iter
+				// capture cannot extend the chain (links must strictly
+				// advance), so the previous manifest stays authoritative.
+				if s.man == nil || man.Iter > s.man.Iter {
+					s.man = man
+				}
 				s.mu.Unlock()
 				iters[i] = it
 				if it < target {
@@ -622,6 +625,14 @@ func (r *run) supervise() {
 			}
 			r.mu.Lock()
 			copy(r.job.Iters, iters)
+			if len(r.job.Lineage) != len(r.slots) {
+				r.job.Lineage = make([]*lineage.Manifest, len(r.slots))
+			}
+			for i, s := range r.slots {
+				s.mu.Lock()
+				r.job.Lineage[i] = s.man
+				s.mu.Unlock()
+			}
 			r.m.store.Put(r.job)
 			r.mu.Unlock()
 			if all {

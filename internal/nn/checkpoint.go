@@ -97,6 +97,53 @@ func (m *Model) Restore(data []byte) error {
 	return nil
 }
 
+// ScanCheckpoint structurally validates a checkpoint without a model: the
+// magic, model name, parameter count, and every (name, length, values)
+// record must parse and consume the buffer exactly. It returns the model
+// name and total value count. Serving watchers use it to reject torn or
+// truncated files — a partial write fails here, before any swap is
+// attempted against a live registry.
+func ScanCheckpoint(data []byte) (model string, values int, err error) {
+	if len(data) < 4 || [4]byte(data[:4]) != checkpointMagic {
+		return "", 0, fmt.Errorf("%w: missing magic", ErrBadCheckpoint)
+	}
+	off := 4
+	model, off, err = readString(data, off)
+	if err != nil {
+		return "", 0, err
+	}
+	if off+4 > len(data) {
+		return "", 0, fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+	}
+	count := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	// Each parameter record is at least 6 bytes (empty name, zero length),
+	// so a count the remaining bytes cannot hold is structurally bogus —
+	// reject it before looping.
+	if count > (len(data)-off)/6 {
+		return "", 0, fmt.Errorf("%w: %d parameters in %d bytes", ErrBadCheckpoint, count, len(data)-off)
+	}
+	for i := 0; i < count; i++ {
+		if _, off, err = readString(data, off); err != nil {
+			return "", 0, err
+		}
+		if off+4 > len(data) {
+			return "", 0, fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if n < 0 || off+4*n > len(data) {
+			return "", 0, fmt.Errorf("%w: truncated values", ErrBadCheckpoint)
+		}
+		off += 4 * n
+		values += n
+	}
+	if off != len(data) {
+		return "", 0, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(data)-off)
+	}
+	return model, values, nil
+}
+
 func appendString(buf []byte, s string) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
 	return append(buf, s...)

@@ -15,6 +15,7 @@ import (
 
 	"dlion/internal/core"
 	"dlion/internal/data"
+	"dlion/internal/lineage"
 	"dlion/internal/nn"
 	"dlion/internal/obs"
 	"dlion/internal/queue"
@@ -348,6 +349,58 @@ func (n *Node) Checkpoint(ctx context.Context) (int64, []byte, error) {
 		return 0, nil, err
 	}
 	return iter, ckpt, nil
+}
+
+// CheckpointManifest snapshots the worker's model together with its lineage
+// manifest: the content digest (per variable and combined), the iteration
+// and membership epoch the snapshot was taken at, and the node's config
+// fingerprint. A non-nil parent chains the manifest to the previous
+// snapshot of this node (manifests chain by digest; pass nil for a root).
+// The snapshot and every digest are computed in one Inspect closure, so the
+// manifest can never commit to weights from a different event-loop moment
+// than the checkpoint bytes.
+func (n *Node) CheckpointManifest(ctx context.Context, parent *lineage.Manifest) (int64, []byte, *lineage.Manifest, error) {
+	cfg := n.cfg.System.Fingerprint()
+	precision := n.cfg.System.Quant.Precision.String()
+	if n.cfg.System.Quant.Auto {
+		precision = "auto"
+	}
+	var ckpt []byte
+	man := &lineage.Manifest{
+		Schema:     lineage.Schema,
+		Worker:     n.cfg.ID,
+		Job:        n.cfg.System.Job,
+		Config:     cfg,
+		ConfigHash: lineage.Fingerprint(cfg),
+		Precision:  precision,
+	}
+	err := n.Inspect(ctx, func(w *core.Worker) {
+		m := w.Model()
+		ckpt = m.Checkpoint()
+		man.Model = m.ModelName
+		man.Digest = lineage.ModelHash(m)
+		vars := make(map[string]lineage.Hash, len(m.Params()))
+		for _, p := range m.Params() {
+			vars[p.Name] = lineage.TensorHash(p.W)
+		}
+		man.Vars = vars
+		man.Iter = w.Iter()
+		man.Epoch = w.Epoch()
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	man.Link(parent)
+	if parent != nil && man.Iter <= parent.Iter {
+		// No training progress since the parent snapshot: the chain cannot
+		// advance (VerifyLink requires strictly increasing iterations), so
+		// the caller should keep the parent manifest.
+		man.Link(nil)
+	}
+	if err := man.Validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	return man.Iter, ckpt, man, nil
 }
 
 // NewNode builds a node and its worker. The model replica is built from

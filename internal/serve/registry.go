@@ -20,8 +20,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dlion/internal/lineage"
 	"dlion/internal/nn"
 	"dlion/internal/obs"
+	"dlion/internal/wire"
 )
 
 // ErrStaleVersion reports a Publish whose sequence number does not advance
@@ -31,6 +33,13 @@ import (
 // a failure.
 var ErrStaleVersion = errors.New("serve: stale model version")
 
+// ErrManifestMismatch reports a publish whose lineage manifest does not
+// commit to the checkpoint it arrived with: the manifest's digest disagrees
+// with the weights actually decoded. Such a version never reaches a runner —
+// serving weights under a provenance record that does not name them would
+// defeat the point of lineage.
+var ErrManifestMismatch = errors.New("serve: manifest does not match checkpoint")
+
 // Version is one immutable published model snapshot. Ckpt is the raw nn
 // checkpoint; readers must treat it as read-only (runners restore private
 // replicas from it, so one buffer feeds any number of concurrent runners).
@@ -39,7 +48,31 @@ type Version struct {
 	Source string    // provenance: "init", "dir:<file>", "broadcast"
 	At     time.Time // publish wall time
 	Ckpt   []byte
+
+	// Digest is the content digest of the checkpoint's weights, computed by
+	// the registry itself from the validated scratch replica — present on
+	// every version, manifest or not.
+	Digest lineage.Hash
+
+	// Manifest is the lineage record the publisher attached (nil for legacy
+	// DLSV frames and bare directory checkpoints). When present, its digest
+	// was verified against Digest at publish time.
+	Manifest *lineage.Manifest
 }
+
+// ChainEntry is one accepted publish in the registry's version history —
+// what /modelz exposes so an operator can answer "which weights served this
+// request, and what training history produced them".
+type ChainEntry struct {
+	Seq      int64             `json:"seq"`
+	Source   string            `json:"source"`
+	At       time.Time         `json:"at"`
+	Digest   lineage.Hash      `json:"digest"`
+	Manifest *lineage.Manifest `json:"manifest,omitempty"`
+}
+
+// chainMax bounds the retained version history; older entries roll off.
+const chainMax = 128
 
 // Registry holds the currently served model version and swaps in new ones
 // atomically. Publish validates a checkpoint against the model spec before
@@ -48,15 +81,17 @@ type Version struct {
 type Registry struct {
 	spec nn.Spec
 
-	mu  sync.Mutex // serializes Publish (validate + ordered swap)
-	cur atomic.Pointer[Version]
+	mu    sync.Mutex // serializes Publish (validate + ordered swap) and guards chain
+	cur   atomic.Pointer[Version]
+	chain []ChainEntry // accepted publishes, oldest first, bounded by chainMax
 
 	nswaps atomic.Int64 // accepted publishes, independent of metrics wiring
 
-	swaps    *obs.Counter
-	rejected *obs.Counter
-	stale    *obs.Counter
-	seqGauge *obs.Gauge
+	swaps      *obs.Counter
+	rejected   *obs.Counter
+	stale      *obs.Counter
+	manRejects *obs.Counter
+	seqGauge   *obs.Gauge
 }
 
 // NewRegistry returns an empty registry serving models built from spec.
@@ -65,14 +100,16 @@ func NewRegistry(spec nn.Spec) *Registry {
 }
 
 // SetMetrics wires the registry's counters into reg (METRICS.md:
-// serve.swaps, serve.swap_rejected, serve.swap_stale, and the
-// serve.model_seq gauge). Call before publishing.
+// serve.swaps, serve.swap_rejected, serve.swap_stale,
+// serve.manifest_rejects, and the serve.model_seq gauge). Call before
+// publishing.
 func (r *Registry) SetMetrics(reg *obs.Registry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.swaps = reg.Counter("serve.swaps")
 	r.rejected = reg.Counter("serve.swap_rejected")
 	r.stale = reg.Counter("serve.swap_stale")
+	r.manRejects = reg.Counter("serve.manifest_rejects")
 	r.seqGauge = reg.Gauge("serve.model_seq")
 }
 
@@ -93,6 +130,17 @@ func (r *Registry) Swaps() int64 { return r.nswaps.Load() }
 // reordered delivery. A checkpoint that fails structural validation is
 // rejected and can never reach a runner.
 func (r *Registry) Publish(seq int64, source string, ckpt []byte) error {
+	return r.PublishManifest(seq, source, ckpt, nil)
+}
+
+// PublishManifest is Publish with a lineage manifest attached. Beyond the
+// structural and ordering checks, the manifest must actually commit to the
+// checkpoint: its digest is recomputed from the validated scratch replica
+// and any disagreement rejects the publish (ErrManifestMismatch,
+// serve.manifest_rejects). A nil manifest degrades to plain Publish — the
+// version still records the registry-computed digest, so the /modelz chain
+// stays digest-complete even for legacy feeds.
+func (r *Registry) PublishManifest(seq int64, source string, ckpt []byte, man *lineage.Manifest) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if cur := r.cur.Load(); cur != nil && seq <= cur.Seq {
@@ -101,16 +149,47 @@ func (r *Registry) Publish(seq int64, source string, ckpt []byte) error {
 	}
 	// Restore into a scratch replica: proves the checkpoint matches the
 	// spec (names, shapes, length) before any runner sees it.
-	if err := r.spec.Build().Restore(ckpt); err != nil {
+	scratch := r.spec.Build()
+	if err := scratch.Restore(ckpt); err != nil {
 		r.rejected.Inc()
 		return fmt.Errorf("serve: reject version %d from %s: %w", seq, source, err)
 	}
-	v := &Version{Seq: seq, Source: source, At: time.Now(), Ckpt: ckpt}
+	digest := lineage.ModelHash(scratch)
+	if man != nil {
+		if err := man.Validate(); err != nil {
+			r.manRejects.Inc()
+			return fmt.Errorf("serve: reject version %d from %s: %w", seq, source, err)
+		}
+		if man.Digest != digest {
+			r.manRejects.Inc()
+			return fmt.Errorf("%w: version %d from %s: manifest digest %s, checkpoint decodes to %s",
+				ErrManifestMismatch, seq, source, man.Digest, digest)
+		}
+	}
+	v := &Version{Seq: seq, Source: source, At: time.Now(), Ckpt: ckpt,
+		Digest: digest, Manifest: man}
+	r.chain = append(r.chain, ChainEntry{
+		Seq: v.Seq, Source: v.Source, At: v.At, Digest: digest, Manifest: man,
+	})
+	if len(r.chain) > chainMax {
+		r.chain = append(r.chain[:0], r.chain[len(r.chain)-chainMax:]...)
+	}
 	r.cur.Store(v)
 	r.nswaps.Add(1)
 	r.swaps.Inc()
 	r.seqGauge.Set(seq)
 	return nil
+}
+
+// Chain returns a copy of the retained version history, oldest first. Seq
+// is strictly increasing across the slice — publishes are serialized and
+// stale sequences never enter the chain.
+func (r *Registry) Chain() []ChainEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ChainEntry, len(r.chain))
+	copy(out, r.chain)
+	return out
 }
 
 // --- weight-update broadcast framing ---
@@ -142,4 +221,47 @@ func DecodeUpdate(p []byte) (seq int64, ckpt []byte, err error) {
 		return 0, nil, fmt.Errorf("%w: missing magic", ErrBadUpdate)
 	}
 	return int64(binary.LittleEndian.Uint64(p[4:])), p[12:], nil
+}
+
+// updateMagic2 brands a manifest-carrying weight-update frame ("DLS2"):
+// magic, u64 seq, u32 manifest length, wire-encoded manifest, checkpoint.
+var updateMagic2 = [4]byte{'D', 'L', 'S', '2'}
+
+// EncodeUpdateManifest frames a checkpoint together with its lineage
+// manifest for broadcast. Legacy subscribers that only understand DLSV
+// frames will drop it; DecodeUpdateAny understands both.
+func EncodeUpdateManifest(seq int64, man *lineage.Manifest, ckpt []byte) ([]byte, error) {
+	mb, err := wire.EncodeManifest(man)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 16+len(mb)+len(ckpt))
+	buf = append(buf, updateMagic2[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(seq))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mb)))
+	buf = append(buf, mb...)
+	return append(buf, ckpt...), nil
+}
+
+// DecodeUpdateAny parses either weight-update framing: DLSV frames yield a
+// nil manifest, DLS2 frames carry one. The checkpoint slice aliases p.
+func DecodeUpdateAny(p []byte) (seq int64, man *lineage.Manifest, ckpt []byte, err error) {
+	if len(p) >= 4 && [4]byte(p[:4]) == updateMagic {
+		seq, ckpt, err = DecodeUpdate(p)
+		return seq, nil, ckpt, err
+	}
+	if len(p) < 16 || [4]byte(p[:4]) != updateMagic2 {
+		return 0, nil, nil, fmt.Errorf("%w: missing magic", ErrBadUpdate)
+	}
+	seq = int64(binary.LittleEndian.Uint64(p[4:]))
+	mlen := int(binary.LittleEndian.Uint32(p[12:]))
+	if mlen < 0 || 16+mlen > len(p) {
+		return 0, nil, nil, fmt.Errorf("%w: manifest length %d in %d-byte frame",
+			ErrBadUpdate, mlen, len(p))
+	}
+	man, err = wire.DecodeManifest(p[16 : 16+mlen])
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("%w: %v", ErrBadUpdate, err)
+	}
+	return seq, man, p[16+mlen:], nil
 }

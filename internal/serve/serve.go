@@ -314,12 +314,18 @@ func (s *Server) handleModelz(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "no model", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	resp := map[string]any{
 		"seq": v.Seq, "source": v.Source, "at": v.At,
 		"model": s.cfg.Registry.Spec().Kind, "ckpt_bytes": len(v.Ckpt),
 		"quantized": s.cfg.Quantized,
-	})
+		"digest":    v.Digest,
+		"chain":     s.cfg.Registry.Chain(),
+	}
+	if v.Manifest != nil {
+		resp["manifest"] = v.Manifest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {

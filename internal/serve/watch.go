@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"dlion/internal/lineage"
+	"dlion/internal/nn"
 )
 
 // CheckpointSuffix is the file extension WatchDir considers a checkpoint.
@@ -14,10 +17,16 @@ const CheckpointSuffix = ".ckpt"
 // WatchDir polls dir every interval and publishes the newest *.ckpt file
 // (by modification time, then name) into the registry whenever it changes.
 // The file's mtime in nanoseconds is the version sequence, so an older
-// file reappearing cannot roll the server back. It runs until ctx is done;
-// transient read errors are skipped (the file may still be mid-write — the
-// registry's structural validation catches torn checkpoints and the next
-// poll retries).
+// file reappearing cannot roll the server back. It runs until ctx is done.
+//
+// Partially-written files never reach the registry: a zero-length or
+// structurally torn checkpoint (nn.ScanCheckpoint fails — a writer's
+// truncated tail, a mid-write snapshot) is skipped without attempting a
+// swap, and because the skip does not mark the file as seen, the completed
+// file is retried on the next poll. A sidecar manifest
+// (<file>.ckpt.manifest.json, see lineage.WriteFile) is attached when
+// present and readable; the registry then verifies its digest against the
+// decoded weights.
 //
 // Use either WatchDir or WatchBroadcasts as a registry's feed, not both:
 // the two derive sequences from different clocks (file mtimes vs training
@@ -32,8 +41,13 @@ func (r *Registry) WatchDir(ctx context.Context, dir string, interval time.Durat
 	defer tick.Stop()
 	for {
 		if name, mod, ok := newestCheckpoint(dir); ok && (name != lastName || mod.After(lastMod)) {
-			if data, err := os.ReadFile(filepath.Join(dir, name)); err == nil {
-				if err := r.Publish(mod.UnixNano(), "dir:"+name, data); err == nil {
+			path := filepath.Join(dir, name)
+			if data, err := os.ReadFile(path); err == nil && validCheckpoint(data) {
+				man, err := lineage.ReadFile(path)
+				if err != nil {
+					man = nil // no sidecar (or a torn one): publish bare
+				}
+				if err := r.PublishManifest(mod.UnixNano(), "dir:"+name, data, man); err == nil {
 					lastName, lastMod = name, mod
 				}
 			}
@@ -44,6 +58,17 @@ func (r *Registry) WatchDir(ctx context.Context, dir string, interval time.Durat
 		case <-tick.C:
 		}
 	}
+}
+
+// validCheckpoint reports whether data is a complete, structurally sound
+// checkpoint — the pre-swap gate that keeps mid-write files out of the
+// registry entirely.
+func validCheckpoint(data []byte) bool {
+	if len(data) == 0 {
+		return false
+	}
+	_, _, err := nn.ScanCheckpoint(data)
+	return err == nil
 }
 
 // newestCheckpoint returns the most recent checkpoint file in dir.
@@ -67,13 +92,14 @@ func newestCheckpoint(dir string) (name string, mod time.Time, ok bool) {
 	return name, mod, ok
 }
 
-// WatchBroadcasts consumes weight-update frames (EncodeUpdate) from ch —
-// an in-process broker Subscription.C or a queue client's Subscribe
-// channel on WeightsChannel — publishing each into the registry until ch
-// closes or ctx is done. Malformed frames and stale versions are dropped;
-// with several workers broadcasting, the registry's strictly-increasing
-// sequence rule arbitrates, so the cluster's freshest checkpoint wins
-// regardless of arrival order.
+// WatchBroadcasts consumes weight-update frames (EncodeUpdate or
+// EncodeUpdateManifest) from ch — an in-process broker Subscription.C or a
+// queue client's Subscribe channel on WeightsChannel — publishing each into
+// the registry until ch closes or ctx is done. Malformed frames and stale
+// versions are dropped; with several workers broadcasting, the registry's
+// strictly-increasing sequence rule arbitrates, so the cluster's freshest
+// checkpoint wins regardless of arrival order. Manifest-carrying frames
+// attach their lineage record to the published version.
 func (r *Registry) WatchBroadcasts(ctx context.Context, ch <-chan []byte) {
 	for {
 		select {
@@ -83,11 +109,11 @@ func (r *Registry) WatchBroadcasts(ctx context.Context, ch <-chan []byte) {
 			if !ok {
 				return
 			}
-			seq, ckpt, err := DecodeUpdate(p)
+			seq, man, ckpt, err := DecodeUpdateAny(p)
 			if err != nil {
 				continue
 			}
-			_ = r.Publish(seq, "broadcast", ckpt)
+			_ = r.PublishManifest(seq, "broadcast", ckpt, man)
 		}
 	}
 }

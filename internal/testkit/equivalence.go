@@ -42,6 +42,14 @@ type EquivalenceConfig struct {
 	// precision — the mixed-precision-peers interop workload. Overrides
 	// Quant.
 	QuantMix []grad.Precision
+
+	// Ordered runs the workload under core.Config.OrderedApply: peer
+	// gradients apply at the sync barrier in (round, worker-id) order
+	// instead of arrival order. This removes the one freedom the substrates
+	// have left — float32 apply order — so final weights are bit-identical
+	// across sim and realtime, which is what the lineage audit replays
+	// rely on.
+	Ordered bool
 }
 
 // EquivalenceResult is one substrate's outcome: per-worker final weights
@@ -71,6 +79,9 @@ func (c EquivalenceConfig) system() core.Config {
 	if c.QuantMix != nil {
 		name += "-mixed"
 	}
+	if c.Ordered {
+		name += "-ordered"
+	}
 	return core.Config{
 		Name:         name,
 		LearningRate: 0.05,
@@ -79,6 +90,7 @@ func (c EquivalenceConfig) system() core.Config {
 		Batch:        core.BatchConfig{InitialLBS: 8},
 		MaxIters:     c.Steps,
 		Quant:        core.QuantConfig{Precision: c.Quant},
+		OrderedApply: c.Ordered,
 	}
 }
 

@@ -20,10 +20,10 @@ package testkit
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 
+	"dlion/internal/lineage"
 	"dlion/internal/nn"
 	"dlion/internal/tensor"
 )
@@ -31,24 +31,11 @@ import (
 // Digest returns the FNV-1a 64-bit hash of a tensor's exact float32 bit
 // patterns (little-endian), preceded by its shape. Two tensors digest
 // equally iff they are bitwise identical, including NaN payloads and
-// signed zeros.
+// signed zeros. It is the same hash lineage manifests commit to
+// (lineage.TensorHash), so a conformance digest and a published checkpoint
+// digest are directly comparable.
 func Digest(t *tensor.Tensor) uint64 {
-	h := fnv.New64a()
-	var buf [4]byte
-	le32 := func(v uint32) {
-		buf[0] = byte(v)
-		buf[1] = byte(v >> 8)
-		buf[2] = byte(v >> 16)
-		buf[3] = byte(v >> 24)
-		h.Write(buf[:])
-	}
-	for _, d := range t.Shape {
-		le32(uint32(d))
-	}
-	for _, v := range t.Data {
-		le32(math.Float32bits(v))
-	}
-	return h.Sum64()
+	return uint64(lineage.TensorHash(t))
 }
 
 // DigestWeights hashes every variable of a weight map independently, so a

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"dlion/internal/lineage"
+)
+
+// Manifest framing: lineage manifests ride serve's weight-update frames and
+// the jobs store alongside checkpoints, so their binary codec lives with the
+// rest of the wire formats. Layout (little-endian, "DLMF" magic + version):
+//
+//	magic[4] ver[1]
+//	model str · digest u64 · parent u64 · parentIter u64 · iter u64 ·
+//	epoch u64 · worker u32 · job str · config str · configHash u64 ·
+//	seed u64 · precision str · flags u8 ·
+//	[flags&1: substrate str · workers u32 · quant str]   (replay descriptor)
+//	varCount u32 · (name str · hash u64)*                (sorted by name)
+//
+// Strings use the shared u16-length prefix (capped at maxName); the JSON
+// sidecar codec (lineage.EncodeJSON) is the human-facing twin of this frame.
+
+var manifestMagic = [4]byte{'D', 'L', 'M', 'F'}
+
+const (
+	manifestVersion = 1
+	// maxManifestVars bounds the per-variable digest table; real models have
+	// a handful of variables, so anything larger is corruption.
+	maxManifestVars = 1 << 10
+
+	manReplayBit = 0x01 // flags: replay descriptor present
+	manSparseBit = 0x02 // flags: replay segment used sparse exchange
+	manFlagMax   = manReplayBit | manSparseBit
+)
+
+func manStr(buf []byte, s string) []byte {
+	buf = le16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// EncodeManifest serializes a validated manifest. Per-variable digests are
+// written in sorted name order, so encoding is canonical: equal manifests
+// produce equal bytes.
+func EncodeManifest(m *lineage.Manifest) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range []string{m.Model, m.Job, m.Config, m.Precision} {
+		if len(s) > maxName {
+			return nil, fmt.Errorf("%w: manifest string %d bytes", ErrCorrupt, len(s))
+		}
+	}
+	if len(m.Vars) > maxManifestVars {
+		return nil, fmt.Errorf("%w: %d manifest vars", ErrCorrupt, len(m.Vars))
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, manifestMagic[:]...)
+	buf = append(buf, manifestVersion)
+	buf = manStr(buf, m.Model)
+	buf = le64(buf, uint64(m.Digest))
+	buf = le64(buf, uint64(m.Parent))
+	buf = le64(buf, uint64(m.ParentIter))
+	buf = le64(buf, uint64(m.Iter))
+	buf = le64(buf, uint64(m.Epoch))
+	buf = le32(buf, uint32(m.Worker))
+	buf = manStr(buf, m.Job)
+	buf = manStr(buf, m.Config)
+	buf = le64(buf, uint64(m.ConfigHash))
+	buf = le64(buf, m.Seed)
+	buf = manStr(buf, m.Precision)
+	var flags uint8
+	if m.Replay != nil {
+		flags |= manReplayBit
+		if m.Replay.Sparse {
+			flags |= manSparseBit
+		}
+	}
+	buf = append(buf, flags)
+	if m.Replay != nil {
+		buf = manStr(buf, string(m.Replay.Substrate))
+		buf = le32(buf, uint32(m.Replay.Workers))
+		buf = manStr(buf, m.Replay.Quant)
+	}
+	names := make([]string, 0, len(m.Vars))
+	for name := range m.Vars {
+		if len(name) > maxName {
+			return nil, fmt.Errorf("%w: manifest var name %d bytes", ErrCorrupt, len(name))
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = le32(buf, uint32(len(names)))
+	for _, name := range names {
+		buf = manStr(buf, name)
+		buf = le64(buf, uint64(m.Vars[name]))
+	}
+	return buf, nil
+}
+
+// DecodeManifest parses a manifest frame produced by EncodeManifest. The
+// returned manifest passed lineage validation; trailing bytes, unknown flag
+// bits, and oversized tables are rejected.
+func DecodeManifest(data []byte) (*lineage.Manifest, error) {
+	if len(data) < 5 {
+		return nil, ErrTruncated
+	}
+	if [4]byte(data[:4]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+	}
+	if data[4] != manifestVersion {
+		return nil, fmt.Errorf("%w: manifest version %d", ErrCorrupt, data[4])
+	}
+	r := &reader{data: data, off: 5}
+	m := &lineage.Manifest{Schema: lineage.Schema}
+	var err error
+	if m.Model, err = r.str(); err != nil {
+		return nil, err
+	}
+	var u uint64
+	for _, dst := range []*lineage.Hash{&m.Digest, &m.Parent} {
+		if u, err = r.u64(); err != nil {
+			return nil, err
+		}
+		*dst = lineage.Hash(u)
+	}
+	for _, dst := range []*int64{&m.ParentIter, &m.Iter, &m.Epoch} {
+		if u, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if u > 1<<62 {
+			return nil, fmt.Errorf("%w: manifest counter %d", ErrCorrupt, u)
+		}
+		*dst = int64(u)
+	}
+	worker, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if worker > 1<<20 {
+		return nil, fmt.Errorf("%w: manifest worker %d", ErrCorrupt, worker)
+	}
+	m.Worker = int(worker)
+	if m.Job, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Config, err = r.str(); err != nil {
+		return nil, err
+	}
+	if u, err = r.u64(); err != nil {
+		return nil, err
+	}
+	m.ConfigHash = lineage.Hash(u)
+	if m.Seed, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.Precision, err = r.str(); err != nil {
+		return nil, err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags > manFlagMax || (flags&manSparseBit != 0 && flags&manReplayBit == 0) {
+		return nil, fmt.Errorf("%w: manifest flags %#x", ErrCorrupt, flags)
+	}
+	if flags&manReplayBit != 0 {
+		rep := &lineage.Replay{Sparse: flags&manSparseBit != 0}
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		rep.Substrate = lineage.Substrate(s)
+		workers, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if workers > 1<<20 {
+			return nil, fmt.Errorf("%w: replay workers %d", ErrCorrupt, workers)
+		}
+		rep.Workers = int(workers)
+		if rep.Quant, err = r.str(); err != nil {
+			return nil, err
+		}
+		m.Replay = rep
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxManifestVars {
+		return nil, fmt.Errorf("%w: %d manifest vars", ErrCorrupt, count)
+	}
+	if count > 0 {
+		m.Vars = make(map[string]lineage.Hash, count)
+		for i := uint32(0); i < count; i++ {
+			name, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := m.Vars[name]; dup {
+				return nil, fmt.Errorf("%w: duplicate manifest var %q", ErrCorrupt, name)
+			}
+			if u, err = r.u64(); err != nil {
+				return nil, err
+			}
+			m.Vars[name] = lineage.Hash(u)
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrCorrupt, r.remaining())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
