@@ -19,15 +19,19 @@ test:
 race:
 	go test -race ./internal/queue/... ./internal/realtime/... ./internal/serve/... ./internal/jobs/...
 	go test -race -run 'Concurrent' ./internal/nn/... ./internal/obs/...
+	go test -race ./internal/simclock/...
+	go test -race -run 'ParallelEval' ./internal/cluster/...
 
-# Short fuzz pass over the wire decoder, framer, and lineage-manifest
-# codecs: catches panics and canonicalization regressions without the cost
-# of a long campaign. The committed corpus under internal/wire/testdata/fuzz
-# seeds all three targets.
+# Short fuzz pass over the wire decoder, framer, lineage-manifest codecs,
+# and the calendar-queue-vs-heap scheduler oracle: catches panics,
+# canonicalization regressions, and event-ordering divergence without the
+# cost of a long campaign. The committed corpus under
+# internal/wire/testdata/fuzz seeds the wire targets.
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzManifestDecode -fuzztime=10s ./internal/wire
+	go test -run='^$$' -fuzz=FuzzCalendarVsHeap -fuzztime=10s ./internal/simclock
 
 # Conformance harness (see TESTING.md): gradcheck on every nn layer,
 # sim<->realtime weight equivalence, and the golden convergence gates, all
@@ -51,11 +55,13 @@ bench:
 bench-serve:
 	go run ./cmd/dlion-bench -serve -json BENCH_serve.json
 
-# DES throughput: events per wall second at 6/32/128 workers, with and
-# without elastic churn, emitted as BENCH_sim.json. The committed report is
-# the baseline, like BENCH_kernels.json.
+# DES throughput: events per wall second at 6/32/128 workers (flat mesh,
+# with and without elastic churn) and 256/512/1024 workers (4-cloud
+# hierarchical federations), emitted as BENCH_sim.json. The committed
+# report is the baseline, like BENCH_kernels.json. For profiling one
+# workload, use `go run ./cmd/dlion-bench -sim -cpuprofile sim.pprof`.
 bench-sim:
-	go test -run='^$$' -bench=SimEvents -benchtime=1x ./internal/cluster \
+	go test -run='^$$' -bench=SimEvents -benchtime=1x -timeout 60m ./internal/cluster \
 		| go run ./cmd/dlion-benchfmt -name sim -out BENCH_sim.json \
 			-baseline BENCH_sim.json -regress '$(or $(BENCH_REGRESS),0)'
 

@@ -11,6 +11,8 @@
 //	dlion-bench -out report.md  # also write a markdown report
 //	dlion-bench -json bench.json  # also write a BENCH JSON report (METRICS.md)
 //	dlion-bench -serve          # serving load benchmark -> BENCH_serve.json
+//	dlion-bench -sim -sim-n 128 -cpuprofile sim.pprof
+//	                            # DES throughput workloads, profiled
 package main
 
 import (
@@ -33,11 +35,19 @@ func main() {
 		jsonOut = flag.String("json", "", "also write a BENCH JSON report (METRICS.md schema) to this file")
 		dbgAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address while running")
 		srvMode = flag.Bool("serve", false, "run the serving load benchmark instead of the experiments")
+		simMode = flag.Bool("sim", false, "run the DES throughput workloads instead of the experiments")
 	)
 	flag.Parse()
 
 	if *srvMode {
 		if err := runServeBench(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dlion-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *simMode {
+		if err := runSimBench(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "dlion-bench:", err)
 			os.Exit(1)
 		}

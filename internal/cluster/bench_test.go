@@ -11,11 +11,6 @@ import (
 	"fmt"
 	"testing"
 
-	"dlion/internal/data"
-	"dlion/internal/fault"
-	"dlion/internal/nn"
-	"dlion/internal/simcompute"
-	"dlion/internal/simnet"
 	"dlion/internal/systems"
 )
 
@@ -37,71 +32,43 @@ func benchmarkRun(b *testing.B, observe bool) {
 func BenchmarkSimRun(b *testing.B)         { benchmarkRun(b, false) }
 func BenchmarkSimRunObserved(b *testing.B) { benchmarkRun(b, true) }
 
-// benchEventsConfig sizes one DES throughput workload: n DLion workers on
-// the tiny Cipher task over a short horizon, evaluation kept out of the
-// measured window. With churn, the last slot joins a third of the way in
-// and one founder leaves at two thirds — pricing the membership machinery
-// (handshake, tombstones, renormalization) against the static baseline.
-func benchEventsConfig(n int, churn bool) Config {
-	dc := data.Config{Name: "bench-events", NumClasses: 3, Train: 2048, Test: 256,
-		Channels: 1, Height: 8, Width: 8, Noise: 0.4, Jitter: 0, Bumps: 3, Seed: 11}
-	comps := make([]*simcompute.Compute, n)
-	for i := range comps {
-		comps[i] = simcompute.New(simcompute.Constant(12),
-			simcompute.CostModel{Overhead: 0.05, PerSample: 0.5}, uint64(i))
-	}
-	const horizon = 8
-	cfg := Config{
-		System:     systems.DLion(),
-		Model:      nn.CipherSpec(1, 8, 8, 3, 0),
-		Data:       dc,
-		N:          n,
-		Computes:   comps,
-		Network:    simnet.Uniform(n, simcompute.Constant(200), 0.001),
-		Horizon:    horizon,
-		EvalPeriod: horizon,
-		EvalSubset: 60,
-		EvalBatch:  30,
-		Seed:       13,
-	}
-	if churn {
-		cfg.Faults = &fault.Schedule{
-			Joins:  []fault.Join{{Worker: n - 1, At: horizon * 0.3, Sponsor: 0}},
-			Leaves: []fault.Leave{{Worker: 1, At: horizon * 0.6}},
-		}
-	}
-	return cfg
-}
+// The DES throughput workloads live in workloads.go (SimEventsConfig,
+// FederationConfig) so that dlion-bench -sim profiles exactly what the
+// benchmark measures.
 
 // BenchmarkSimEvents measures raw DES throughput (events per wall second,
 // reported as the custom events/s metric) at micro-cloud, rack, and
-// fleet scale, with and without elastic churn. Emitted into BENCH_sim.json
-// by `make bench-sim`; run one-shot with:
+// fleet scale, with and without elastic churn; the 256/512/1024 sizes run
+// as 4-cloud hierarchical federations. Emitted into BENCH_sim.json by
+// `make bench-sim`; run one-shot with:
 //
 //	go test -run='^$' -bench=SimEvents -benchtime=1x ./internal/cluster
 func BenchmarkSimEvents(b *testing.B) {
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			res, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Events == 0 {
+				b.Fatal("no events executed")
+			}
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
 	for _, n := range []int{6, 32, 128} {
 		for _, churn := range []bool{false, true} {
 			name := fmt.Sprintf("n=%d", n)
 			if churn {
 				name += "-churn"
 			}
-			b.Run(name, func(b *testing.B) {
-				cfg := benchEventsConfig(n, churn)
-				b.ReportAllocs()
-				var events uint64
-				for i := 0; i < b.N; i++ {
-					res, err := Run(cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
-					if res.Events == 0 {
-						b.Fatal("no events executed")
-					}
-					events += res.Events
-				}
-				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
-			})
+			b.Run(name, func(b *testing.B) { run(b, SimEventsConfig(n, churn)) })
 		}
+	}
+	for _, n := range []int{256, 512, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { run(b, FederationConfig(n)) })
 	}
 }

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"dlion/internal/core"
 	"dlion/internal/data"
@@ -17,6 +18,7 @@ import (
 	"dlion/internal/simclock"
 	"dlion/internal/simcompute"
 	"dlion/internal/simnet"
+	"dlion/internal/tensor"
 	"dlion/internal/wire"
 )
 
@@ -110,6 +112,23 @@ type Result struct {
 	// Events is the number of DES events the engine executed — the
 	// numerator of the sim-throughput benchmark (events per wall second).
 	Events uint64
+
+	// EventsPerSec is Events divided by the wall-clock seconds the event
+	// loop ran — the run's simulation throughput. The same figure is
+	// published on the sim.events_per_sec gauge (see AttachSimMetrics).
+	EventsPerSec float64
+}
+
+// simEventsPerSec is the process-wide DES throughput gauge: the most recent
+// run's events per wall second (Result.EventsPerSec, truncated). Exposed as
+// sim.events_per_sec via AttachSimMetrics; see METRICS.md.
+var simEventsPerSec obs.Gauge
+
+// AttachSimMetrics registers the simulation driver's gauges on reg:
+//
+//	sim.events_per_sec  DES events executed per wall-clock second (last run)
+func AttachSimMetrics(reg *obs.Registry) {
+	reg.AttachGauge("sim.events_per_sec", &simEventsPerSec)
 }
 
 func (c *Config) validate() error {
@@ -154,6 +173,46 @@ type simEnv struct {
 	sentBytes int64
 	ckpts     [][]byte         // latest checkpoint per worker (crash recovery)
 	obs       []*obs.WorkerObs // per-worker sinks; nil when Observe is off
+	delivFree []*delivery      // retired delivery events for reuse
+}
+
+// delivery is a pooled message-arrival event. Send used to schedule a
+// closure per message — the dominant steady-state allocation of the event
+// loop at large n. A delivery is taken from the env's free list, scheduled
+// via Engine.AtHandler (no closure), and returns itself to the free list
+// after firing. The simulation is single-threaded, so the free list needs
+// no locking; recursion is safe because Fire re-pools itself only after
+// HandleMessage (and any Sends it triggers) returns.
+type delivery struct {
+	env   *simEnv
+	to    int
+	bytes float64
+	m     *wire.Message
+}
+
+// Fire implements simclock.Handler: the message arrives at worker `to`.
+func (d *delivery) Fire() {
+	e := d.env
+	if e.workers[d.to].Stopped() {
+		e.inj.DeadDrop()
+	} else {
+		e.sentBytes += int64(d.bytes)
+		e.workers[d.to].HandleMessage(d.m)
+	}
+	d.m = nil
+	e.delivFree = append(e.delivFree, d)
+}
+
+// newDelivery takes a delivery event from the free list or allocates one.
+func (e *simEnv) newDelivery(to int, bytes float64, m *wire.Message) *delivery {
+	if n := len(e.delivFree); n > 0 {
+		d := e.delivFree[n-1]
+		e.delivFree[n-1] = nil
+		e.delivFree = e.delivFree[:n-1]
+		d.to, d.bytes, d.m = to, bytes, m
+		return d
+	}
+	return &delivery{env: e, to: to, bytes: bytes, m: m}
 }
 
 func (e *simEnv) SendScale() float64           { return e.wireScale }
@@ -196,9 +255,15 @@ func (e *simEnv) Send(from, to int, m *wire.Message) {
 	if e.egress[from] > start {
 		start = e.egress[from]
 	}
-	bw, err := e.net.BandwidthAt(from, to, start)
-	if err != nil || bw <= 0 {
-		return // unconnected or dead link: behaves as a partition
+	// One link lookup serves both the bandwidth sample and the RTT; the old
+	// path resolved the link twice per message.
+	l, err := e.net.Link(from, to)
+	if err != nil {
+		return // unconnected link: behaves as a partition
+	}
+	bw := l.Bandwidth.At(start)
+	if bw <= 0 {
+		return // dead link: behaves as a partition
 	}
 	v := e.inj.Message(from, to, now)
 	if v.Partitioned {
@@ -214,22 +279,11 @@ func (e *simEnv) Send(from, to int, m *wire.Message) {
 	if !v.Deliver {
 		return // lost or corrupted in flight: egress was spent, nothing arrives
 	}
-	rtt := 0.0
-	if l, err := e.net.Link(from, to); err == nil {
-		rtt = l.RTT
-	}
-	arrival := start + ser + rtt/2 + v.ExtraDelay
+	arrival := start + ser + l.RTT/2 + v.ExtraDelay
 	if e.obs != nil {
 		e.obs[from].AddPhase(obs.PhaseSend, arrival-(start+ser))
 	}
-	e.eng.At(arrival, func() {
-		if e.workers[to].Stopped() {
-			e.inj.DeadDrop()
-			return
-		}
-		e.sentBytes += int64(bytes)
-		e.workers[to].HandleMessage(m)
-	})
+	e.eng.AtHandler(arrival, e.newDelivery(to, bytes, m))
 }
 
 // Run executes one experiment and returns its results.
@@ -327,19 +381,40 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{System: cfg.System.Name}
+	// evalBuf holds one slot per replica so evaluation can fan out across
+	// goroutines and still merge in worker-id order below.
+	type evalSlot struct {
+		acc, loss float64
+		ok        bool
+	}
+	evalBuf := make([]evalSlot, cfg.N)
 	evaluate := func() {
 		// Dormant (not yet admitted) joiners are excluded: their fresh
 		// replicas are not part of the federation. Crashed and departed
 		// workers keep contributing their frozen models, as before.
+		//
+		// The forward passes are read-only on independent replicas, so they
+		// run concurrently (tensor.ParallelReplicas); each pass is itself
+		// bit-identical at any kernel worker count, and the accs slice and
+		// loss sum are merged serially in worker-id order, so the timeline
+		// is byte-for-byte the same as the sequential loop produced.
+		for i := range evalBuf {
+			evalBuf[i] = evalSlot{}
+		}
+		tensor.ParallelReplicas(cfg.N, func(i int) {
+			if st := env.workers[i].State(); st == core.StateJoining || st == core.StateSyncing {
+				return
+			}
+			a, l := models[i].Evaluate(evalSet, cfg.EvalBatch)
+			evalBuf[i] = evalSlot{acc: a, loss: l, ok: true}
+		})
 		accs := make([]float64, 0, cfg.N)
 		var lossSum float64
-		for i, m := range models {
-			if st := env.workers[i].State(); st == core.StateJoining || st == core.StateSyncing {
-				continue
+		for i := range evalBuf {
+			if evalBuf[i].ok {
+				accs = append(accs, evalBuf[i].acc)
+				lossSum += evalBuf[i].loss
 			}
-			a, l := m.Evaluate(evalSet, cfg.EvalBatch)
-			accs = append(accs, a)
-			lossSum += l
 		}
 		if len(accs) == 0 {
 			return
@@ -348,19 +423,7 @@ func Run(cfg Config) (*Result, error) {
 			metrics.NewPoint(env.eng.Now(), accs, lossSum/float64(len(accs))))
 	}
 	trace := func() {
-		tr := Trace{T: env.eng.Now(), GBS: env.workers[0].GBS(),
-			LBS: make([]int, cfg.N), SelCount: map[[2]int]int{}, Budget: map[[2]int]int{}}
-		for i, w := range env.workers {
-			tr.LBS[i] = w.LBS()
-			for j := 0; j < cfg.N; j++ {
-				if j == i {
-					continue
-				}
-				tr.SelCount[[2]int{i, j}] = w.LastSelectedCount(j)
-				tr.Budget[[2]int{i, j}] = w.LastBudget(j)
-			}
-		}
-		res.Traces = append(res.Traces, tr)
+		res.Traces = append(res.Traces, sampleTrace(env.workers, env.eng.Now()))
 	}
 
 	evaluate() // t = 0 baseline point
@@ -374,7 +437,9 @@ func Run(cfg Config) (*Result, error) {
 			w.Start()
 		}
 	}
+	wallStart := time.Now()
 	env.eng.Run(cfg.Horizon)
+	wall := time.Since(wallStart).Seconds()
 
 	// Final state at the horizon.
 	if len(res.Timeline) == 0 || res.Timeline[len(res.Timeline)-1].T < cfg.Horizon {
@@ -397,7 +462,36 @@ func Run(cfg Config) (*Result, error) {
 	res.Faults = env.inj.Stats()
 	res.Models = models
 	res.Events = env.eng.Executed()
+	if wall > 0 {
+		res.EventsPerSec = float64(res.Events) / wall
+		simEventsPerSec.Set(int64(res.EventsPerSec))
+	}
 	return res, nil
+}
+
+// sampleTrace captures one Trace of the controllers' internal state. The
+// maps and the LBS slice are allocated at exact final size — every ordered
+// worker pair (i,j), i != j, gets one entry in each map — so a sample costs
+// a fixed small number of allocations and never rehashes mid-fill (pinned
+// by BenchmarkTraceSample / TestTraceSampleAllocs).
+func sampleTrace(workers []*core.Worker, t float64) Trace {
+	n := len(workers)
+	nLinks := n * (n - 1)
+	tr := Trace{T: t, GBS: workers[0].GBS(),
+		LBS:      make([]int, n),
+		SelCount: make(map[[2]int]int, nLinks),
+		Budget:   make(map[[2]int]int, nLinks)}
+	for i, w := range workers {
+		tr.LBS[i] = w.LBS()
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			tr.SelCount[[2]int{i, j}] = w.LastSelectedCount(j)
+			tr.Budget[[2]int{i, j}] = w.LastBudget(j)
+		}
+	}
+	return tr
 }
 
 // scheduleFaults arms the crash/restart timeline and the periodic

@@ -19,6 +19,17 @@ import (
 // peer would waste shared egress bandwidth, and the fan-out divisor of the
 // byte budget shrinks with the live set so surviving links get the freed
 // share.
+// selCacheEntry is one per-iteration selection-cache slot (see
+// exchangeGradients): the selection and quantization outcome for every link
+// sharing a (selector budget, precision) pair this iteration.
+type selCacheEntry struct {
+	selBudget int
+	prec      grad.Precision
+	sels      []*grad.Selection
+	saved     int // quantization bytes saved, re-counted per link
+	count     int // grad.TotalCount(sels), cached alongside
+}
+
 func (w *Worker) exchangeGradients() {
 	params := w.model.Params()
 	peers := w.livePeers()
@@ -31,6 +42,18 @@ func (w *Worker) exchangeGradients() {
 		}
 		fullDense = grad.DenseBytes(totals)
 	}
+	// With a LinkInvariant selector (MaxN, Full), links that resolve to the
+	// same (budget, precision) receive the same Selection set, so it is
+	// computed once and shared across their messages. Under a uniform or
+	// per-worker-egress network every peer hits one cache slot, and a
+	// hierarchical federation hits one slot per tier (LAN, WAN) — the
+	// selection cost per iteration drops from O(n·model) to
+	// O(tiers·model), which is what makes 1000-worker federations
+	// simulable (DESIGN.md §14). Receivers and encoders treat Selections
+	// as read-only, so sharing is safe on both substrates, and a cached
+	// result is bit-identical to a recomputation by definition of
+	// LinkInvariant — seeded runs are unchanged by the cache.
+	w.selCache = w.selCache[:0]
 	for _, p := range peers {
 		budget := 0
 		if w.cfg.LinkBudget {
@@ -56,17 +79,38 @@ func (w *Worker) exchangeGradients() {
 			}
 		}
 		w.lastPrec[p] = prec
-		sels := w.selector.Select(p, params, selBudget)
-		if prec != grad.PrecF32 {
-			saved := grad.QuantizeAll(sels, prec)
-			w.stats.QuantBytesSaved += int64(saved)
-			w.obs.AddQuantSaved(saved)
+
+		var entry *selCacheEntry
+		if w.selInvariant {
+			for i := range w.selCache {
+				if w.selCache[i].selBudget == selBudget && w.selCache[i].prec == prec {
+					entry = &w.selCache[i]
+					break
+				}
+			}
+		}
+		if entry == nil {
+			sels := w.selector.Select(p, params, selBudget)
+			saved := 0
+			if prec != grad.PrecF32 {
+				saved = grad.QuantizeAll(sels, prec)
+			}
+			w.selCache = append(w.selCache, selCacheEntry{
+				selBudget: selBudget, prec: prec, sels: sels,
+				saved: saved, count: grad.TotalCount(sels)})
+			entry = &w.selCache[len(w.selCache)-1]
+		}
+		if entry.saved > 0 {
+			// Byte savings are per transmission: every link sending this
+			// payload avoids the same dense-f32 overshoot.
+			w.stats.QuantBytesSaved += int64(entry.saved)
+			w.obs.AddQuantSaved(entry.saved)
 		}
 		w.lastBudget[p] = budget
-		w.lastSelCount[p] = grad.TotalCount(sels)
-		w.stats.GradValuesSent += int64(grad.TotalCount(sels))
+		w.lastSelCount[p] = entry.count
+		w.stats.GradValuesSent += int64(entry.count)
 		w.stats.GradMsgsSent++
-		if len(sels) == 0 {
+		if len(entry.sels) == 0 {
 			// Nothing significant to send (e.g. Gaia below threshold). The
 			// peer's sync bookkeeping still needs the iteration signal.
 			w.send(&wire.Message{Type: wire.TypeGradient, From: int32(w.ID),
@@ -74,7 +118,12 @@ func (w *Worker) exchangeGradients() {
 			continue
 		}
 		w.send(&wire.Message{Type: wire.TypeGradient, From: int32(w.ID),
-			To: int32(p), Iter: w.iter, LBS: int32(w.lbs), Selections: sels})
+			To: int32(p), Iter: w.iter, LBS: int32(w.lbs), Selections: entry.sels})
+	}
+	// Drop the Selection references: the messages own them now, and a
+	// retained cache would keep the previous iteration's gradients alive.
+	for i := range w.selCache {
+		w.selCache[i] = selCacheEntry{}
 	}
 }
 

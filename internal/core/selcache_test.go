@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"dlion/internal/grad"
+	"dlion/internal/nn"
+	"dlion/internal/wire"
+)
+
+// uncachedMaxN wraps MaxN without the LinkInvariant marker, forcing the
+// exchange path to recompute the selection per peer — the pre-cache
+// behavior, used as the oracle below.
+type uncachedMaxN struct{ inner *grad.MaxN }
+
+func (u uncachedMaxN) Name() string { return u.inner.Name() }
+func (u uncachedMaxN) Select(to int, params []*nn.Param, budget int) []*grad.Selection {
+	return u.inner.Select(to, params, budget)
+}
+
+// TestSelectionCacheSharesAndMatchesUncached pins the per-iteration
+// selection cache: with a LinkInvariant selector and equal-bandwidth links,
+// every gradient message of one (sender, iteration) shares one Selection
+// set (computed once), and the payloads are bit-identical to a run whose
+// selector recomputes per peer.
+func TestSelectionCacheSharesAndMatchesUncached(t *testing.T) {
+	run := func(newSel func() grad.Selector) []*wire.Message {
+		env := newFakeEnv(3, []float64{1, 1, 1})
+		cfg := asyncConfig()
+		cfg.NewSelector = newSel
+		cfg.LinkBudget = true
+		ws := buildCluster(t, cfg, env)
+		for _, w := range ws {
+			w.Start()
+		}
+		env.eng.Run(6)
+		var grads []*wire.Message
+		for _, m := range env.sent {
+			if m.Type == wire.TypeGradient {
+				grads = append(grads, m)
+			}
+		}
+		return grads
+	}
+
+	cached := run(func() grad.Selector { return grad.NewMaxN(95) })
+	uncached := run(func() grad.Selector { return uncachedMaxN{inner: grad.NewMaxN(95)} })
+
+	if len(cached) == 0 {
+		t.Fatal("no gradient messages sent")
+	}
+	if len(cached) != len(uncached) {
+		t.Fatalf("message counts diverge: cached %d, uncached %d", len(cached), len(uncached))
+	}
+	for k := range cached {
+		a, b := cached[k], uncached[k]
+		if a.From != b.From || a.To != b.To || a.Iter != b.Iter {
+			t.Fatalf("message %d routing diverges: %+v vs %+v", k, a, b)
+		}
+		if len(a.Selections) != len(b.Selections) {
+			t.Fatalf("message %d selection count: %d vs %d", k, len(a.Selections), len(b.Selections))
+		}
+		for si := range a.Selections {
+			sa, sb := a.Selections[si], b.Selections[si]
+			if sa.Var != sb.Var || sa.Total != sb.Total {
+				t.Fatalf("message %d sel %d header diverges", k, si)
+			}
+			if len(sa.Dense) != len(sb.Dense) || len(sa.Idx) != len(sb.Idx) {
+				t.Fatalf("message %d sel %d shape diverges", k, si)
+			}
+			for i := range sa.Dense {
+				if sa.Dense[i] != sb.Dense[i] {
+					t.Fatalf("message %d sel %d dense[%d]: %v vs %v", k, si, i, sa.Dense[i], sb.Dense[i])
+				}
+			}
+			for i := range sa.Idx {
+				if sa.Idx[i] != sb.Idx[i] || sa.Val[i] != sb.Val[i] {
+					t.Fatalf("message %d sel %d sparse[%d] diverges", k, si, i)
+				}
+			}
+		}
+	}
+
+	// Sharing: all messages of one (sender, iteration) carry the same
+	// Selection pointers — the cache computed once and fanned out.
+	type key struct {
+		from int32
+		iter int64
+	}
+	groups := map[key][]*wire.Message{}
+	for _, m := range cached {
+		if len(m.Selections) > 0 {
+			k := key{m.From, m.Iter}
+			groups[k] = append(groups[k], m)
+		}
+	}
+	shared := 0
+	for k, ms := range groups {
+		for _, m := range ms[1:] {
+			if m.Selections[0] != ms[0].Selections[0] {
+				t.Fatalf("sender %d iter %d: messages do not share cached selections", k.from, k.iter)
+			}
+		}
+		if len(ms) > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no multi-peer iteration exercised the cache")
+	}
+}

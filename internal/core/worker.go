@@ -84,6 +84,12 @@ type Worker struct {
 	lastSelCount map[int]int // per-peer gradient values sent last iteration
 	lastBudget   map[int]int // per-peer byte budget last iteration
 
+	// Per-iteration selection cache (exchange.go). selInvariant is set when
+	// the selector implements grad.LinkInvariant; selCache is the reused
+	// slot array, cleared at the end of every exchange.
+	selInvariant bool
+	selCache     []selCacheEntry
+
 	// Per-link precision state (§3.3's precision half; see exchange.go).
 	// peerQuant holds the accept masks peers advertised in HELLO/WELCOME;
 	// absent peers default to accept-all (static founders never handshake).
@@ -169,6 +175,7 @@ func New(id int, cfg Config, model *nn.Model, shard *data.Shard, env Env) (*Work
 		trainSize:    trainSize,
 		deadSeen:     map[int]bool{},
 	}
+	_, w.selInvariant = w.selector.(grad.LinkInvariant)
 	if err := w.initMembership(); err != nil {
 		return nil, err
 	}

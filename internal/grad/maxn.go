@@ -43,6 +43,10 @@ func NewMaxN(n float64) *MaxN {
 // Name implements Selector.
 func (m *MaxN) Name() string { return "maxN" }
 
+// LinkInvariantSelection implements LinkInvariant: MaxN keeps no per-peer
+// state, so equal budgets always produce equal selections.
+func (m *MaxN) LinkInvariantSelection() {}
+
 // Select implements Selector. The same fresh mean gradient must be passed
 // for every peer of the current iteration; MaxN keeps no cross-iteration
 // state, so per-link differences come only from the per-link budget.

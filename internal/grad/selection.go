@@ -112,6 +112,24 @@ type Selector interface {
 	Select(to int, params []*nn.Param, budgetBytes int) []*Selection
 }
 
+// LinkInvariant marks selectors whose Select result is a pure function of
+// the current gradient and the byte budget — independent of the peer id and
+// of any per-peer state. For such selectors a driver may run the selection
+// once per distinct (budget, precision) and share the resulting Selections
+// across every link of the iteration: with n-1 equal-bandwidth links that
+// turns the per-iteration selection cost from O(n·model) into O(model),
+// which is what makes thousand-worker federations simulable (DESIGN.md
+// §14). Shared Selections are read-only after creation — AddTo and the wire
+// encoders never mutate them.
+//
+// MaxN and Full qualify (MaxN documents that per-link differences come only
+// from the per-link budget). Gaia and Ako keep per-peer accumulators and
+// must NOT be marked.
+type LinkInvariant interface {
+	// LinkInvariantSelection is a marker; implementations do nothing.
+	LinkInvariantSelection()
+}
+
 // denseSelection copies a parameter's full gradient into a dense Selection.
 func denseSelection(p *nn.Param) *Selection {
 	d := make([]float32, p.G.Len())
@@ -125,6 +143,10 @@ type Full struct{}
 
 // Name implements Selector.
 func (Full) Name() string { return "full" }
+
+// LinkInvariantSelection implements LinkInvariant: Full ignores both the
+// peer and the budget.
+func (Full) LinkInvariantSelection() {}
 
 // Select implements Selector.
 func (Full) Select(_ int, params []*nn.Param, _ int) []*Selection {

@@ -5,10 +5,10 @@
 // virtual time by the cost models in simcompute and simnet.
 //
 // Events fire in (time, insertion-order) order, so simulations are fully
-// deterministic.
+// deterministic. The scheduler is a calendar queue (calqueue.go): value-typed
+// events in time-bucketed sorted slices with O(1) amortized enqueue/dequeue,
+// sized for the fleet-scale federations of DESIGN.md §14.
 package simclock
-
-import "container/heap"
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all event callbacks run on the caller's goroutine inside
@@ -17,27 +17,14 @@ type Engine struct {
 	now      float64
 	seq      uint64
 	executed uint64
-	events   eventHeap
+	q        calQueue
 }
 
-type event struct {
-	at  float64
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+// Handler is a pre-bound event callback. Scheduling one stores the
+// interface value inside a value-typed queue event, so hot paths (message
+// delivery) implement Fire on a pooled struct instead of capturing state in
+// a fresh closure per event.
+type Handler interface{ Fire() }
 
 // New returns an engine with the clock at 0.
 func New() *Engine { return &Engine{} }
@@ -46,7 +33,7 @@ func New() *Engine { return &Engine{} }
 func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.size }
 
 // Executed returns how many events have fired since construction — the
 // numerator of a DES throughput measurement (events per wall second).
@@ -59,7 +46,7 @@ func (e *Engine) At(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.q.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative d clamps to 0.
@@ -68,6 +55,25 @@ func (e *Engine) After(d float64, fn func()) {
 		d = 0
 	}
 	e.At(e.now+d, fn)
+}
+
+// AtHandler schedules h.Fire at absolute virtual time t with the same
+// clamping as At. Unlike At, it allocates nothing: the handler rides inside
+// the value-typed queue event.
+func (e *Engine) AtHandler(t float64, h Handler) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.q.push(event{at: t, seq: e.seq, h: h})
+}
+
+// AfterHandler schedules h.Fire d seconds from now. Negative d clamps to 0.
+func (e *Engine) AfterHandler(d float64, h Handler) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtHandler(e.now+d, h)
 }
 
 // Every schedules fn at now+period, now+2·period, … until either stop
@@ -91,25 +97,35 @@ func (e *Engine) Every(period float64, fn func(), stop func() bool) {
 // Step executes the next event, advancing the clock to its timestamp.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev, ok := e.q.pop()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	if ev.h != nil {
+		ev.h.Fire()
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
 // Run executes events until the queue is empty or the next event is later
-// than horizon. The clock finishes at min(horizon, last-event time); events
-// beyond the horizon remain queued.
+// than horizon. The clock always parks at the horizon afterwards (events
+// beyond the horizon remain queued), whether the stop came from a drained
+// queue or from a future-dated event — the simulated interval [Now, horizon]
+// elapsed either way. Run never moves the clock backwards: a horizon in the
+// past executes nothing and leaves Now unchanged.
 func (e *Engine) Run(horizon float64) {
-	for len(e.events) > 0 && e.events[0].at <= horizon {
+	for {
+		at, ok := e.q.peek()
+		if !ok || at > horizon {
+			break
+		}
 		e.Step()
 	}
-	if e.now < horizon && len(e.events) > 0 {
-		// clock parks at the horizon when stopped mid-queue
+	if e.now < horizon {
 		e.now = horizon
 	}
 }

@@ -93,8 +93,47 @@ func TestRunHorizon(t *testing.T) {
 		t.Fatalf("pending %d", e.Pending())
 	}
 	e.Run(20)
-	if len(fired) != 4 || e.Now() != 10 {
-		t.Fatalf("resume failed: fired=%v now=%v", fired, e.Now())
+	if len(fired) != 4 {
+		t.Fatalf("resume failed: fired=%v", fired)
+	}
+	// Uniform parking: the queue drained at t=10, but the simulated
+	// interval ran to 20, so the clock parks at the horizon — the same
+	// place it parks when stopped mid-queue.
+	if e.Now() != 20 {
+		t.Fatalf("clock should park at horizon after drain, got %v", e.Now())
+	}
+}
+
+// TestRunParksAtHorizonUniformly is the regression test for the drained-
+// queue parking fix: both stop paths (queue drained early, next event past
+// the horizon) must leave the clock at the horizon, and a horizon in the
+// past must never move the clock backwards.
+func TestRunParksAtHorizonUniformly(t *testing.T) {
+	// Drain path: single event at 3, horizon 10.
+	e := New()
+	e.At(3, func() {})
+	e.Run(10)
+	if e.Now() != 10 {
+		t.Fatalf("drained queue: clock at %v, want horizon 10", e.Now())
+	}
+	// Mid-queue path: next event beyond the horizon.
+	e2 := New()
+	e2.At(3, func() {})
+	e2.At(50, func() {})
+	e2.Run(10)
+	if e2.Now() != 10 || e2.Pending() != 1 {
+		t.Fatalf("mid-queue stop: now=%v pending=%d", e2.Now(), e2.Pending())
+	}
+	// Empty queue from the start.
+	e3 := New()
+	e3.Run(7)
+	if e3.Now() != 7 {
+		t.Fatalf("empty queue: clock at %v, want 7", e3.Now())
+	}
+	// Past horizon: clock never moves backwards.
+	e3.Run(2)
+	if e3.Now() != 7 {
+		t.Fatalf("past horizon moved clock to %v", e3.Now())
 	}
 }
 
@@ -106,10 +145,56 @@ func TestEvery(t *testing.T) {
 	if count != 4 {
 		t.Fatalf("count %d", count)
 	}
-	// the stop-check event at t=10 fires last; with an empty queue the
-	// clock stays there rather than parking at the horizon
-	if e.Now() != 10 {
+	// the stop-check event at t=10 drains the queue; the clock then parks
+	// at the horizon, uniformly with the mid-queue stop path
+	if e.Now() != 100 {
 		t.Fatalf("now %v", e.Now())
+	}
+}
+
+// TestEveryStopsOnFirstTick: a stop predicate that is already true when the
+// first tick fires must suppress fn entirely.
+func TestEveryStopsOnFirstTick(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Every(2, func() { fired++ }, func() bool { return true })
+	e.Run(20)
+	if fired != 0 {
+		t.Fatalf("fn fired %d times despite stop-on-first-tick", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("stopped ticker left %d events queued", e.Pending())
+	}
+}
+
+// TestEveryTickExactlyAtHorizon: Run executes events at t <= horizon
+// inclusively, so a tick landing exactly on the horizon fires and its
+// successor (past the horizon) stays queued.
+func TestEveryTickExactlyAtHorizon(t *testing.T) {
+	e := New()
+	var at []float64
+	e.Every(5, func() { at = append(at, e.Now()) }, nil)
+	e.Run(10)
+	if len(at) != 2 || at[0] != 5 || at[1] != 10 {
+		t.Fatalf("ticks %v, want [5 10]", at)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want the t=15 tick", e.Pending())
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock at %v, want 10", e.Now())
+	}
+}
+
+// TestAtExactHorizonBoundary: an event scheduled exactly at the horizon is
+// inside the simulated interval.
+func TestAtExactHorizonBoundary(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(10, func() { ran = true })
+	e.Run(10)
+	if !ran {
+		t.Fatal("event at the horizon boundary did not fire")
 	}
 }
 

@@ -207,3 +207,83 @@ func TestScheduleWraparoundBehavior(t *testing.T) {
 		t.Fatal("NextChange after the last step must be final")
 	}
 }
+
+func TestHierarchicalTopology(t *testing.T) {
+	// 2 clouds of 3 and 2 workers: ids 0-2 in cloud A, 3-4 in cloud B.
+	nw := Hierarchical([]Cloud{
+		{Workers: 3, LAN: simcompute.Constant(1000), LANRTT: 0.0002},
+		{Workers: 2, LAN: simcompute.Constant(500), LANRTT: 0.0004},
+	}, simcompute.Constant(100), 0.03)
+	if nw.Size() != 5 {
+		t.Fatalf("size %d, want 5", nw.Size())
+	}
+	cloudOf := func(i int) int {
+		if i < 3 {
+			return 0
+		}
+		return 1
+	}
+	wantBW := map[[2]int]float64{{0, 0}: 1000, {1, 1}: 500}
+	wantRTT := map[[2]int]float64{{0, 0}: 0.0002, {1, 1}: 0.0004}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			l, err := nw.Link(i, j)
+			if err != nil {
+				t.Fatalf("link %d->%d: %v", i, j, err)
+			}
+			tier := [2]int{cloudOf(i), cloudOf(j)}
+			bw, rtt := 100.0, 0.03 // WAN defaults
+			if w, ok := wantBW[tier]; ok {
+				bw, rtt = w, wantRTT[tier]
+			}
+			if got := l.Bandwidth.At(0); got != bw {
+				t.Fatalf("bw %d->%d = %v, want %v", i, j, got, bw)
+			}
+			if l.RTT != rtt {
+				t.Fatalf("rtt %d->%d = %v, want %v", i, j, l.RTT, rtt)
+			}
+		}
+	}
+}
+
+func TestHierarchicalSharesLinkObjects(t *testing.T) {
+	nw := HierarchicalUniform(2, 3, 1000, 100, 0.0002, 0.03)
+	lan01, _ := nw.Link(0, 1)
+	lan12, _ := nw.Link(1, 2)
+	if lan01 != lan12 {
+		t.Fatal("intra-cloud links must share one Link object")
+	}
+	wan03, _ := nw.Link(0, 3)
+	wan41, _ := nw.Link(4, 1)
+	if wan03 != wan41 {
+		t.Fatal("WAN links must share one Link object")
+	}
+	if lan01 == wan03 {
+		t.Fatal("LAN and WAN tiers must be distinct links")
+	}
+	// Second cloud's LAN is a distinct object from the first cloud's.
+	lan34, _ := nw.Link(3, 4)
+	if lan34 == lan01 {
+		t.Fatal("each cloud owns its own LAN link object")
+	}
+}
+
+func TestHierarchicalPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("empty cloud", func() {
+		Hierarchical([]Cloud{{Workers: 0}}, simcompute.Constant(1), 0)
+	})
+	assertPanics("no clouds", func() {
+		HierarchicalUniform(0, 4, 1, 1, 0, 0)
+	})
+}

@@ -151,3 +151,47 @@ func (s *seqRange) index(i int) { s.f(i) }
 func parallelFor(n int, body func(i int)) {
 	parallelRun(n, &seqRange{f: body})
 }
+
+// ParallelReplicas runs body(i) for i in [0,n) across up to SetMaxWorkers
+// goroutines. Unlike the kernel pool above, bodies MAY invoke pooled kernels:
+// the fan-out uses dedicated short-lived goroutines rather than pool helpers,
+// so replica-level parallelism (e.g. evaluating many model replicas) composes
+// with kernel-level parallelism without the nested-wait starvation parallelRun
+// forbids. Each body(i) must own the data for index i; callers merge results
+// in index order afterwards, so output is independent of scheduling.
+// Deterministic mode and single-worker settings run inline, in index order.
+func ParallelReplicas(n int, body func(i int)) {
+	workers := int(maxWorkers.Load())
+	if deterministic.Load() {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	claim := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			body(i)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			claim()
+		}()
+	}
+	claim()
+	wg.Wait()
+}
